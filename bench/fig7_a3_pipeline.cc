@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Regenerates Fig. 7: the A3 core's three-stage pipeline structure,
+ * annotated with measured per-stage occupancy from a live run — the
+ * two global reductions and the FIFO staging the paper describes:
+ * "the outputs of the dot product module are staged in a FIFO queue
+ * ... The second stage of the algorithm performs a softmax operation,
+ * which requires yet another global reduction."
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "accel/a3/a3_core.h"
+#include "base/rng.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+
+using namespace beethoven;
+using namespace beethoven::a3;
+
+int
+main()
+{
+    setInformEnabled(false);
+    AwsF1Platform platform;
+    AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(1)),
+                       platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+
+    const unsigned n_keys = 320, n_queries = 128;
+    Rng rng(3);
+    remote_ptr keys = handle.malloc(n_keys * 64);
+    remote_ptr values = handle.malloc(n_keys * 64);
+    remote_ptr qbuf = handle.malloc(n_queries * 64);
+    remote_ptr obuf = handle.malloc(n_queries * 64);
+    for (std::size_t i = 0; i < n_keys * 64ull; ++i) {
+        keys.getHostAddr()[i] = static_cast<u8>(rng.next());
+        values.getHostAddr()[i] = static_cast<u8>(rng.next());
+    }
+    for (std::size_t i = 0; i < n_queries * 64ull; ++i)
+        qbuf.getHostAddr()[i] = static_cast<u8>(rng.next());
+    handle.copy_to_fpga(keys);
+    handle.copy_to_fpga(values);
+    handle.copy_to_fpga(qbuf);
+
+    handle
+        .invoke("A3System", "load_matrices", 0,
+                {keys.getFpgaAddr(), values.getFpgaAddr(), n_keys})
+        .get();
+    handle
+        .invoke("A3System", "attend", 0,
+                {qbuf.getFpgaAddr(), obuf.getFpgaAddr(), n_queries})
+        .get();
+
+    auto &core = static_cast<A3Core &>(soc.core("A3System", 0));
+    const Cycle kernel = core.lastKernelCycles();
+
+    std::printf("# Fig. 7 — A3 approximate attention pipeline "
+                "(BERT: %u keys, 64-dim, int8 operands)\n\n",
+                n_keys);
+    std::printf(
+        "  query stream (Reader, 64 B/query)\n"
+        "        |\n"
+        "        v\n"
+        "  [S1: dot product]   64 int8 MAC lanes x 1 key row/cycle\n"
+        "        |             global reduction #1: running max score\n"
+        "        v\n"
+        "  (score FIFO)        scores wait for the reduction\n"
+        "        |\n"
+        "        v\n"
+        "  [S2: exp/softmax]   LUT exponent, 1/cycle\n"
+        "        |             global reduction #2: weight sum\n"
+        "        v\n"
+        "  (weight FIFO)\n"
+        "        |\n"
+        "        v\n"
+        "  [S3: output]        64 weighted accumulators x 1 value "
+        "row/cycle,\n"
+        "        |             reciprocal-multiply normalize, int8 "
+        "quantize\n"
+        "        v\n"
+        "  output stream (Writer, 64 B/query)\n\n");
+
+    std::printf("Measured over a %u-query batch on AWS F1 @%0.0f "
+                "MHz:\n",
+                n_queries, platform.clockMHz());
+    std::printf("  kernel cycles            : %llu\n",
+                static_cast<unsigned long long>(kernel));
+    std::printf("  cycles per query         : %.1f (ideal = n_keys = "
+                "%u)\n",
+                double(kernel) / n_queries, n_keys);
+    std::printf("  stage 1 (dot)   occupancy: %5.1f%%\n",
+                100.0 * double(core.stage1Busy()) / kernel);
+    std::printf("  stage 2 (exp)   occupancy: %5.1f%%\n",
+                100.0 * double(core.stage2Busy()) / kernel);
+    std::printf("  stage 3 (output) occupancy: %4.1f%%\n",
+                100.0 * double(core.stage3Busy()) / kernel);
+    std::printf("  throughput (1 core)      : %.2f M attention ops/s\n",
+                platform.clockMHz() * 1e6 / (double(kernel) / n_queries)
+                    / 1e6);
+    std::printf("\n# Shape check: all three stages stay near-fully "
+                "occupied (they overlap across queries),\n"
+                "# and steady-state cost approaches one key row per "
+                "cycle.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Framework microbenchmarks (google-benchmark): the host-side costs of
+ * Beethoven's own machinery — RoCC packing, allocator operations,
+ * simulation-kernel throughput, and elaboration time. These are not a
+ * paper figure; they quantify the simulator substrate itself so users
+ * can budget experiment run times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/vecadd.h"
+#include "cmd/command_spec.h"
+#include "platform/aws_f1.h"
+#include "platform/sim_platform.h"
+#include "runtime/allocator.h"
+#include "runtime/fpga_handle.h"
+
+using namespace beethoven;
+
+namespace
+{
+
+void
+BM_RoccPackUnpack(benchmark::State &state)
+{
+    CommandSpec spec("bench", {CommandField::uint("a", 32),
+                               CommandField::address("b", 34),
+                               CommandField::uint("c", 20),
+                               CommandField::uint("d", 64)});
+    std::vector<u64> values = {0xABCD, 0x123456789ull, 0x7FFFF,
+                               0xDEADBEEFCAFEF00Dull};
+    for (auto _ : state) {
+        auto beats = spec.pack(3, 17, 1, 9, values);
+        auto back = spec.unpack(beats);
+        benchmark::DoNotOptimize(back);
+    }
+}
+BENCHMARK(BM_RoccPackUnpack);
+
+void
+BM_AllocatorChurn(benchmark::State &state)
+{
+    DeviceAllocator alloc(4096, 1ull << 30);
+    std::vector<Addr> live;
+    u64 i = 0;
+    for (auto _ : state) {
+        if (live.size() < 64) {
+            auto a = alloc.allocate(4096 + (i++ % 7) * 512);
+            if (a)
+                live.push_back(*a);
+        } else {
+            alloc.release(live.back());
+            live.pop_back();
+        }
+    }
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void
+BM_SimulatorCycleThroughput(benchmark::State &state)
+{
+    // Host nanoseconds per simulated SoC cycle for an idle vecadd
+    // accelerator of the given core count.
+    AwsF1Platform platform;
+    AcceleratorConfig cfg(VecAddCore::systemConfig(
+        static_cast<unsigned>(state.range(0))));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    for (auto _ : state)
+        soc.sim().step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCycleThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_Elaboration(benchmark::State &state)
+{
+    AwsF1Platform platform;
+    for (auto _ : state) {
+        AcceleratorConfig cfg(VecAddCore::systemConfig(
+            static_cast<unsigned>(state.range(0))));
+        AcceleratorSoc soc(std::move(cfg), platform);
+        benchmark::DoNotOptimize(soc.numCores());
+    }
+}
+BENCHMARK(BM_Elaboration)->Arg(1)->Arg(16);
+
+void
+BM_EndToEndVecAdd(benchmark::State &state)
+{
+    SimulationPlatform platform;
+    AcceleratorConfig cfg(VecAddCore::systemConfig(1));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+    remote_ptr mem = handle.malloc(1024);
+    handle.copy_to_fpga(mem);
+    for (auto _ : state) {
+        handle
+            .invoke("MyAcceleratorSystem", "my_accel", 0,
+                    {1, mem.getFpgaAddr(), 256})
+            .get();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndVecAdd);
+
+} // namespace
+
+BENCHMARK_MAIN();

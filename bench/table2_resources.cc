@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Regenerates Table II: resource utilization of the multi-core A3
+ * design on the VU9P (AWS F1), broken down the way the paper reports
+ * it — totals with the shell, the Beethoven partition, the
+ * interconnect, and a per-core decomposition whose scratchpad/reader
+ * memories show the BRAM-vs-URAM *mixed mapping* produced by the
+ * per-SLR 80 % spill rule ("some of the Value Scratchpads, for
+ * instance, used 15 BRAMs ... whereas other Value Scratchpads
+ * implemented 16 URAMs").
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "accel/a3/a3_core.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+
+using namespace beethoven;
+using namespace beethoven::a3;
+
+namespace
+{
+
+unsigned
+maxA3Cores(const Platform &platform)
+{
+    unsigned lo = 1, hi = 64;
+    auto fits = [&](unsigned n) {
+        try {
+            AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(n)),
+                               platform);
+            return true;
+        } catch (const ConfigError &) {
+            return false;
+        }
+    };
+    while (lo < hi) {
+        const unsigned mid = (lo + hi + 1) / 2;
+        if (fits(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+void
+printRow(const char *name, const ResourceVec &r, const ResourceVec &cap)
+{
+    auto pct = [](double used, double cap_v) {
+        return cap_v > 0 ? 100.0 * used / cap_v : 0.0;
+    };
+    std::printf("%-14s %9.0fK(%4.1f%%) %8.0fK(%4.1f%%) "
+                "%8.0fK(%4.1f%%) %7.1f(%4.1f%%) %7.0f(%4.1f%%)\n",
+                name, r.clb / 1000, pct(r.clb, cap.clb), r.lut / 1000,
+                pct(r.lut, cap.lut), r.ff / 1000, pct(r.ff, cap.ff),
+                r.bram, pct(r.bram, cap.bram), r.uram,
+                pct(r.uram, cap.uram));
+}
+
+/** "a / b" summary of the distinct mapped variants of one memory. */
+std::string
+variantString(const std::map<std::string, unsigned> &variants)
+{
+    std::string out;
+    for (const auto &[desc, count] : variants) {
+        if (!out.empty())
+            out += "  |  ";
+        out += desc + " x" + std::to_string(count);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    AwsF1Platform platform;
+    const unsigned n_cores = maxA3Cores(platform);
+
+    AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(n_cores)),
+                       platform);
+    auto &fp = soc.floorplan();
+
+    const ResourceVec cap = fp.totalCapacity();
+    const ResourceVec shell = fp.totalShell();
+    const ResourceVec used = fp.totalUsed();
+    const ResourceVec total = used + shell;
+    const ResourceVec interconnect = soc.interconnectResources();
+
+    std::printf("# Table II — Resource utilization of the %u-core A3 "
+                "design (VU9P)\n\n",
+                n_cores);
+    std::printf("%-14s %16s %15s %15s %13s %13s\n", "", "CLB", "CLB LUT",
+                "CLB Reg", "BRAM", "URAM");
+    printRow("Total(w/Shell)", total, cap);
+    printRow("Beethoven", used, cap);
+    printRow("Interconnect", interconnect, cap);
+
+    // Per-core breakdown: Beethoven-generated logic around one core
+    // plus the memory mappings of core 0 and the cross-core variants.
+    const ResourceVec core_logic = soc.coreLogicResources("A3System");
+    std::printf("\nCore (x%u), logic per core: %.1fK CLB, %.1fK LUT, "
+                "%.1fK Reg\n",
+                n_cores, core_logic.clb / 1000, core_logic.lut / 1000,
+                core_logic.ff / 1000);
+
+    // Collect the distinct BRAM/URAM mappings of each memory role
+    // across all cores — Table II's "45/15" and "0/32" variants.
+    std::map<std::string, std::map<std::string, unsigned>> variants;
+    std::map<std::string, std::pair<double, double>> core0;
+    for (const auto &rec : soc.memoryMappings()) {
+        const std::string key = rec.owner + " (" + rec.role + ")";
+        char desc[64];
+        if (rec.mapping.resources.bram > 0) {
+            std::snprintf(desc, sizeof(desc), "%.1f BRAM",
+                          rec.mapping.resources.bram);
+        } else {
+            std::snprintf(desc, sizeof(desc), "%.0f URAM",
+                          rec.mapping.resources.uram);
+        }
+        ++variants[key][desc];
+        if (rec.core == 0) {
+            core0[key] = {rec.mapping.resources.bram,
+                          rec.mapping.resources.uram};
+        }
+    }
+
+    std::printf("\nPer-memory mappings across the %u cores (mixed "
+                "BRAM/URAM from the 80%% spill rule):\n",
+                n_cores);
+    for (const auto &[key, vs] : variants)
+        std::printf("  %-28s %s\n", key.c_str(),
+                    variantString(vs).c_str());
+
+    std::printf("\nPer-SLR utilization after placement:\n");
+    for (unsigned s = 0; s < fp.numSlrs(); ++s) {
+        std::printf("  %s: CLB %4.1f%%  LUT %4.1f%%  BRAM %4.1f%%  "
+                    "URAM %4.1f%%\n",
+                    fp.slr(s).name.c_str(),
+                    100 * fp.clbUtilization(s),
+                    100 * fp.lutUtilization(s),
+                    100 * fp.bramUtilization(s),
+                    100 * fp.uramUtilization(s));
+    }
+
+    std::printf("\n# Shape check (paper, Table II): interconnect is a "
+                "small LUT fraction with zero BRAM/URAM;\n"
+                "# scratchpad/reader memories split between ~7.5-BRAM "
+                "and ~8-URAM variants across cores;\n"
+                "# the paper's design: 23 cores, 94.3%% CLB total, "
+                "Beethoven 737K LUT / 518 BRAM / 576 URAM.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-core scaling exploration — the Section III-B workflow in
+ * miniature: take one MachSuite kernel (NW), sweep the System's core
+ * count with a one-line configuration change ("Developers can create
+ * multicore Systems by simply changing the assigned value of nCores"),
+ * and report measured wall-clock scaling through the full runtime.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/machsuite/nw.h"
+#include "base/rng.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+
+using namespace beethoven;
+using namespace beethoven::machsuite;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const unsigned n = 256;
+    const unsigned ops_per_core = 2;
+
+    std::printf("NW (N=%u) multi-core scaling on AWS F1:\n", n);
+    std::printf("%6s %14s %12s %10s\n", "cores", "wall cycles",
+                "ops/s", "scaling");
+
+    double base_ops = 0.0;
+    for (unsigned n_cores : {1u, 2u, 4u, 8u, 16u}) {
+        AwsF1Platform platform;
+        AcceleratorSoc soc(
+            AcceleratorConfig(NwCore::systemConfig(n_cores)), platform);
+        RuntimeServer runtime(soc);
+        fpga_handle_t handle(runtime);
+
+        Rng rng(n_cores);
+        std::vector<std::vector<u64>> args;
+        for (unsigned c = 0; c < n_cores; ++c) {
+            remote_ptr a = handle.malloc(n);
+            remote_ptr b = handle.malloc(n);
+            remote_ptr out = handle.malloc((n + 1) * 4);
+            for (unsigned i = 0; i < n; ++i) {
+                a.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+                b.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+            }
+            handle.copy_to_fpga(a);
+            handle.copy_to_fpga(b);
+            args.push_back({a.getFpgaAddr(), b.getFpgaAddr(),
+                            out.getFpgaAddr(), n});
+        }
+
+        const Cycle start = soc.sim().cycle();
+        std::vector<response_handle<u64>> pending;
+        for (unsigned op = 0; op < ops_per_core; ++op) {
+            for (unsigned c = 0; c < n_cores; ++c)
+                pending.push_back(
+                    handle.invoke("NwSystem", "nw", c, args[c]));
+        }
+        for (auto &h : pending)
+            h.get();
+        const Cycle wall = soc.sim().cycle() - start;
+
+        const double ops =
+            double(ops_per_core) * n_cores * platform.clockMHz() *
+            1e6 / double(wall);
+        if (n_cores == 1)
+            base_ops = ops;
+        std::printf("%6u %14llu %12.0f %9.2fx\n", n_cores,
+                    static_cast<unsigned long long>(wall), ops,
+                    ops / base_ops);
+    }
+    std::printf("\nScaling bends away from linear as dispatch "
+                "serializes on the host interface\n"
+                "(the Fig. 6 ideal-vs-measured gap).\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GeMM — MachSuite O(N^3) matrix multiply (Table I, N = 256).
+ *
+ * The paper's "medium-effort implementation ... parallelizes the outer
+ * and middle loop bodies by a parameterizable amount, identical to the
+ * loop parallelism factors in Vitis HLS or Spatial."
+ *
+ * Structure: B^T is loaded once into a Beethoven Scratchpad through
+ * the init-from-memory path; A streams through a Reader row by row
+ * into a register file; a P-lane int32 MAC array consumes one
+ * scratchpad row (P operands) per cycle, emitting one C element every
+ * N/P cycles through a Writer.
+ */
+
+#ifndef BEETHOVEN_ACCEL_MACHSUITE_GEMM_H
+#define BEETHOVEN_ACCEL_MACHSUITE_GEMM_H
+
+#include <array>
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven::machsuite
+{
+
+class GemmCore : public AcceleratorCore
+{
+  public:
+    /** MAC lanes (the paper's parameterizable unroll factor). */
+    static constexpr unsigned lanes = 16;
+    static constexpr unsigned maxN = 256;
+
+    explicit GemmCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argA = 0, argBt = 1, argC = 2, argN = 3 };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State {
+        Idle,
+        LoadB,
+        LoadARow,
+        Compute,
+        DrainRow,
+        WaitWriter,
+        Respond
+    };
+
+    Reader &_aReader;
+    Writer &_cWriter;
+    Scratchpad &_bMat;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    unsigned _n = 0;
+    unsigned _row = 0;       ///< current output row (i)
+    unsigned _aBeats = 0;    ///< beats of the current A row received
+    unsigned _reqWord = 0;   ///< next B^T scratchpad row requested
+    unsigned _respWord = 0;  ///< next B^T scratchpad row consumed
+    i64 _acc = 0;
+    std::array<i32, maxN> _aRow{};
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_ACCEL_MACHSUITE_GEMM_H

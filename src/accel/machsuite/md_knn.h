@@ -1,0 +1,80 @@
+/**
+ * @file
+ * MD-KNN — MachSuite molecular-dynamics k-nearest-neighbor force pass
+ * (Table I, N = 1024, K = 32).
+ *
+ * Low-effort Beethoven implementation: atom positions are loaded into
+ * an init Scratchpad (one 32-byte row per atom: x, y, z doubles), the
+ * neighbor list streams through a Reader, and a single sequential
+ * double-precision Lennard-Jones datapath evaluates one neighbor
+ * interaction every ~10 cycles. Accumulated forces stream out through
+ * a Writer, one row per atom.
+ */
+
+#ifndef BEETHOVEN_ACCEL_MACHSUITE_MD_KNN_H
+#define BEETHOVEN_ACCEL_MACHSUITE_MD_KNN_H
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven::machsuite
+{
+
+class MdKnnCore : public AcceleratorCore
+{
+  public:
+    static constexpr unsigned maxAtoms = 1024;
+    /** Sequential FP datapath latency per interaction (cycles). */
+    static constexpr unsigned fpLatency = 8;
+
+    explicit MdKnnCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg {
+        argPos = 0,
+        argNeighbors = 1,
+        argForce = 2,
+        argN = 3,
+        argK = 4
+    };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State {
+        Idle,
+        Load,
+        AtomStart,
+        NeighborFetch,
+        NeighborCompute,
+        WriteForce,
+        WaitWriter,
+        Respond
+    };
+
+    Scratchpad &_pos;
+    Reader &_nlReader;
+    Writer &_forceWriter;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    unsigned _n = 0;
+    unsigned _k = 0;
+    unsigned _atom = 0;
+    unsigned _neighbor = 0;
+    bool _reqSent = false;
+    unsigned _fpCountdown = 0;
+    double _xi = 0, _yi = 0, _zi = 0;
+    double _fx = 0, _fy = 0, _fz = 0;
+    double _nx = 0, _ny = 0, _nz = 0; ///< fetched neighbor position
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_ACCEL_MACHSUITE_MD_KNN_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NW — MachSuite Needleman-Wunsch global alignment (Table I, N = 256).
+ *
+ * The algorithm's loop-carried dependencies make it unparallelizable
+ * with pragmas (Section III-B: "NW has loop-carry dependencies, making
+ * the loops unparallelizable ... Our implementation achieved 2x higher
+ * throughput over the other baselines, even for a single core").
+ *
+ * The Beethoven core sustains one DP cell per cycle (II=1): both
+ * sequences sit in an init-loaded scratchpad, the previous DP row
+ * lives in a register file, and the per-cell max tree is a single
+ * cycle of logic — exactly the kind of dependency-chain scheduling an
+ * HLS compiler struggles to reach (it conservatively schedules the
+ * chain at II=3). The final DP row is written back through a Writer,
+ * and per-cell traceback directions are packed into a scratchpad the
+ * way a full aligner would consume them.
+ */
+
+#ifndef BEETHOVEN_ACCEL_MACHSUITE_NW_H
+#define BEETHOVEN_ACCEL_MACHSUITE_NW_H
+
+#include <array>
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven::machsuite
+{
+
+class NwCore : public AcceleratorCore
+{
+  public:
+    static constexpr unsigned maxN = 256;
+
+    explicit NwCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argSeqA = 0, argSeqB = 1, argOut = 2, argN = 3 };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State {
+        Idle,
+        LoadSeqA,
+        LoadSeqB,
+        RowStart,
+        Cell,
+        WriteOut,
+        WaitWriter,
+        Respond
+    };
+
+    Scratchpad &_seqs; ///< seqA in rows [0,n), seqB in rows [n, 2n)
+    Scratchpad &_traceback;
+    Writer &_outWriter;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    unsigned _n = 0;
+    unsigned _i = 0; ///< DP row
+    unsigned _j = 0; ///< DP column (1-based during Cell)
+    u8 _aChar = 0;
+    bool _aCharValid = false;
+    bool _aReqSent = false;
+    unsigned _reqJ = 0; ///< next seqB row requested
+    i32 _diag = 0;      ///< prev[j-1] before cur[j-1] overwrote it
+    std::array<i32, maxN + 1> _rowBuf{}; ///< prev/current DP row
+    std::array<u8, maxN> _tbRow{};       ///< 2-bit directions, packed
+    unsigned _outIdx = 0;
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_ACCEL_MACHSUITE_NW_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stencil2D / Stencil3D — MachSuite stencil kernels (Table I).
+ *
+ * Both are the paper's *low-effort* Beethoven implementations: the
+ * whole grid is pulled into an init-loaded Scratchpad, each output
+ * point is produced by sequential single-port scratchpad reads of its
+ * neighborhood (no unrolled MAC array), and results stream out through
+ * a Writer. "These low-effort implementations do not take advantage of
+ * loop parallelism in the kernel" (Section III-B).
+ */
+
+#ifndef BEETHOVEN_ACCEL_MACHSUITE_STENCIL_H
+#define BEETHOVEN_ACCEL_MACHSUITE_STENCIL_H
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven::machsuite
+{
+
+/** 3x3 coefficient stencil over a 2D int32 grid (borders copied). */
+class Stencil2dCore : public AcceleratorCore
+{
+  public:
+    static constexpr unsigned maxDim = 256;
+
+    explicit Stencil2dCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argIn = 0, argOut = 1, argRows = 2, argCols = 3 };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State { Idle, Load, Point, WaitWriter, Respond };
+
+    Scratchpad &_grid;
+    Writer &_outWriter;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    unsigned _rows = 0;
+    unsigned _cols = 0;
+    unsigned _r = 0;
+    unsigned _c = 0;
+    unsigned _tap = 0;     ///< next neighborhood read to request
+    unsigned _tapResp = 0; ///< next neighborhood response to consume
+    i64 _acc = 0;
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+/** 7-point stencil over a 3D int32 volume (boundary cells copied). */
+class Stencil3dCore : public AcceleratorCore
+{
+  public:
+    static constexpr unsigned maxDim = 32;
+
+    explicit Stencil3dCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argIn = 0, argOut = 1, argN = 2 };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State { Idle, Load, Point, WaitWriter, Respond };
+
+    Scratchpad &_grid;
+    Writer &_outWriter;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    unsigned _n = 0;
+    unsigned _x = 0, _y = 0, _z = 0;
+    unsigned _tap = 0;
+    unsigned _tapResp = 0;
+    i64 _acc = 0;
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_ACCEL_MACHSUITE_STENCIL_H

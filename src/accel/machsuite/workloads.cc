@@ -1,0 +1,38 @@
+#include "accel/machsuite/workloads.h"
+
+namespace beethoven::machsuite
+{
+
+const char *
+parallelismName(Parallelism p)
+{
+    switch (p) {
+      case Parallelism::None: return "None";
+      case Parallelism::Medium: return "Medium";
+      case Parallelism::High: return "High";
+    }
+    return "?";
+}
+
+const std::vector<Workload> &
+table1Workloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"GeMM", "Blocked dense matrix multiply",
+         "O(N^3) matrix multiply", "N = 256", Parallelism::High, 256, 0},
+        {"NW", "Needleman-Wunsch global sequence alignment",
+         "O(N^2) string alignment", "N = 256", Parallelism::None, 256,
+         0},
+        {"Stencil2D", "3x3 convolution stencil over a 2D grid",
+         "2D stencil pattern", "N = 256", Parallelism::Medium, 256, 0},
+        {"Stencil3D", "7-point stencil over a 3D volume",
+         "3D stencil pattern", "N = 32", Parallelism::High, 32, 0},
+        {"MD-KNN",
+         "N-Body molecular dynamics, k-nearest-neighbors force pass",
+         "N-Body problem using k-nearest neighbors approx.",
+         "N = 1024, K = 32", Parallelism::High, 1024, 32},
+    };
+    return workloads;
+}
+
+} // namespace beethoven::machsuite

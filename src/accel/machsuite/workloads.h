@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MachSuite workload registry (Table I): the five benchmarks the paper
+ * selects, their asymptotic complexity, evaluated data sizes and the
+ * degree of loop parallelism the algorithm offers.
+ */
+
+#ifndef BEETHOVEN_ACCEL_MACHSUITE_WORKLOADS_H
+#define BEETHOVEN_ACCEL_MACHSUITE_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven::machsuite
+{
+
+enum class Parallelism { None, Medium, High };
+
+const char *parallelismName(Parallelism p);
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string complexity; ///< e.g. "O(N^3) matrix multiply"
+    std::string dataSize;   ///< e.g. "N = 256"
+    Parallelism parallelism;
+    /** Problem size used in the paper's evaluation. */
+    unsigned n = 0;
+    unsigned k = 0; ///< secondary parameter (MD-KNN's K)
+};
+
+/** The Table I selection, in the paper's order. */
+const std::vector<Workload> &table1Workloads();
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_ACCEL_MACHSUITE_WORKLOADS_H

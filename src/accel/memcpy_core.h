@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memory-Copy (MemCpy) microbenchmark Core (Section III-A).
+ *
+ * "We implement a basic memory access kernel, Memory-Copy (MemCpy) ...
+ * because it isolates the reader and writer abstractions from
+ * externalities."
+ *
+ * The Beethoven implementation is exactly the 23-line pattern the
+ * paper describes: one Reader, one Writer, a command carrying (src,
+ * dst, len), and a word-per-cycle copy loop. Burst length, inflight
+ * depth and TLP come from the channel configuration, so the Fig. 4
+ * variants (Beethoven / Beethoven No-TLP / 16-beat) are pure config
+ * changes — the core logic is untouched, which is the point.
+ */
+
+#ifndef BEETHOVEN_ACCEL_MEMCPY_CORE_H
+#define BEETHOVEN_ACCEL_MEMCPY_CORE_H
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven
+{
+
+class MemcpyCore : public AcceleratorCore
+{
+  public:
+    explicit MemcpyCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argSrc = 0, argDst = 1, argLenBytes = 2 };
+
+    /** Variant knobs for the Fig. 4 sweep. */
+    struct Variant
+    {
+        unsigned dataBytes = 64;  ///< port width (bus width by default)
+        unsigned burstBeats = 16; ///< paper: smaller txns across IDs
+        unsigned maxInflight = 4;
+        bool useTlp = true;
+    };
+
+    static AcceleratorSystemConfig systemConfig(
+        unsigned n_cores, const Variant &variant,
+        unsigned addr_bits = 34);
+
+    /** Device-side cycles of the most recent copy (kernel time,
+     *  excluding host dispatch), for the Fig. 4 bandwidth plots. */
+    Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
+
+  private:
+    enum class State { Idle, Streaming, WaitWriter, Respond };
+
+    Reader &_reader;
+    Writer &_writer;
+
+    State _state = State::Idle;
+    u64 _wordsLeft = 0;
+    DecodedCommand _cmd;
+    Cycle _lastStart = 0;
+    Cycle _lastEnd = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_ACCEL_MEMCPY_CORE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's running example (Fig. 2): a vector-addition Core using
+ * one Reader and one Writer. Streams 32-bit elements from memory, adds
+ * a command-supplied addend, and writes the results back in place.
+ */
+
+#ifndef BEETHOVEN_ACCEL_VECADD_H
+#define BEETHOVEN_ACCEL_VECADD_H
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven
+{
+
+class VecAddCore : public AcceleratorCore
+{
+  public:
+    explicit VecAddCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    /** Field order of the my_accel command. */
+    enum Arg { argAddend = 0, argVecAddr = 1, argNumEles = 2 };
+
+    /** Build the Fig. 3a configuration for @p n_cores cores. */
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                unsigned addr_bits = 34);
+
+  private:
+    enum class State { Idle, Streaming, WaitWriter, Respond };
+
+    Reader &_reader;
+    Writer &_writer;
+
+    State _state = State::Idle;
+    u32 _addend = 0;
+    u64 _wordsLeft = 0;
+    DecodedCommand _cmd;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_ACCEL_VECADD_H

@@ -1,0 +1,15 @@
+#include "axi/axi_types.h"
+
+#include <atomic>
+
+namespace beethoven
+{
+
+u64
+nextGlobalTag()
+{
+    static std::atomic<u64> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace beethoven

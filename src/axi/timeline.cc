@@ -1,0 +1,237 @@
+#include "axi/timeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+const char *
+axiChannelName(AxiChannel c)
+{
+    switch (c) {
+      case AxiChannel::AR: return "AR";
+      case AxiChannel::R:  return "R";
+      case AxiChannel::AW: return "AW";
+      case AxiChannel::W:  return "W";
+      case AxiChannel::B:  return "B";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Per-transaction summary assembled from the raw event stream. */
+struct TxnRow
+{
+    bool isRead = false;
+    u32 id = 0;
+    u64 tag = 0;
+    Cycle reqCycle = 0;
+    std::vector<Cycle> beatCycles;
+    Cycle doneCycle = 0;
+};
+
+std::vector<TxnRow>
+assembleRows(const std::vector<AxiEvent> &events)
+{
+    std::vector<TxnRow> rows;
+    std::map<u64, std::size_t> read_rows, write_rows;
+    for (const auto &e : events) {
+        switch (e.channel) {
+          case AxiChannel::AR: {
+            TxnRow row;
+            row.isRead = true;
+            row.id = e.id;
+            row.tag = e.tag;
+            row.reqCycle = e.cycle;
+            read_rows[e.tag] = rows.size();
+            rows.push_back(row);
+            break;
+          }
+          case AxiChannel::AW: {
+            TxnRow row;
+            row.isRead = false;
+            row.id = e.id;
+            row.tag = e.tag;
+            row.reqCycle = e.cycle;
+            write_rows[e.tag] = rows.size();
+            rows.push_back(row);
+            break;
+          }
+          case AxiChannel::R: {
+            auto it = read_rows.find(e.tag);
+            if (it == read_rows.end())
+                break;
+            rows[it->second].beatCycles.push_back(e.cycle);
+            if (e.last)
+                rows[it->second].doneCycle = e.cycle;
+            break;
+          }
+          case AxiChannel::W: {
+            auto it = write_rows.find(e.tag);
+            if (it == write_rows.end())
+                break;
+            rows[it->second].beatCycles.push_back(e.cycle);
+            break;
+          }
+          case AxiChannel::B: {
+            auto it = write_rows.find(e.tag);
+            if (it == write_rows.end())
+                break;
+            rows[it->second].doneCycle = e.cycle;
+            break;
+          }
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
+void
+AxiTimeline::render(std::ostream &os, unsigned width) const
+{
+    if (_events.empty()) {
+        os << "(no AXI activity recorded)\n";
+        return;
+    }
+    Cycle t0 = _events.front().cycle;
+    Cycle t1 = t0;
+    for (const auto &e : _events)
+        t1 = std::max(t1, e.cycle);
+    const double span = static_cast<double>(t1 - t0 + 1);
+    auto col = [&](Cycle c) -> unsigned {
+        return static_cast<unsigned>(
+            static_cast<double>(c - t0) / span * (width - 1));
+    };
+
+    os << "cycles " << t0 << " .. " << t1
+       << "  ('A' request accepted, '=' data beat, '#' completion)\n";
+    for (const auto &row : assembleRows(_events)) {
+        std::string line(width, ' ');
+        line[col(row.reqCycle)] = 'A';
+        for (Cycle c : row.beatCycles) {
+            char &ch = line[col(c)];
+            if (ch == ' ')
+                ch = '=';
+        }
+        if (row.doneCycle >= row.reqCycle)
+            line[col(row.doneCycle)] = '#';
+        std::ostringstream label;
+        label << (row.isRead ? "RD" : "WR") << " id=" << row.id
+              << " tag=" << row.tag;
+        os << line << " | " << label.str() << "\n";
+    }
+}
+
+std::string
+checkAxiProtocol(const std::vector<AxiEvent> &events)
+{
+    struct Outstanding
+    {
+        u64 tag;
+        u32 beatsExpected;
+        u32 beatsSeen = 0;
+    };
+    // Per-ID FIFOs of outstanding transactions.
+    std::map<u32, std::deque<Outstanding>> reads, writes;
+    // Write bursts whose data is complete but B is pending.
+    std::map<u64, bool> writeDataDone;
+    std::ostringstream err;
+
+    for (const auto &e : events) {
+        switch (e.channel) {
+          case AxiChannel::AR:
+            reads[e.id].push_back({e.tag, e.beats});
+            break;
+          case AxiChannel::AW:
+            writes[e.id].push_back({e.tag, e.beats});
+            writeDataDone[e.tag] = false;
+            break;
+          case AxiChannel::R: {
+            auto &q = reads[e.id];
+            if (q.empty()) {
+                err << "R beat for id " << e.id
+                    << " with no outstanding read";
+                return err.str();
+            }
+            // Same-ID ordering: data must belong to the oldest txn.
+            Outstanding &head = q.front();
+            if (head.tag != e.tag) {
+                err << "R beat tag " << e.tag << " on id " << e.id
+                    << " violates same-ID ordering (expected tag "
+                    << head.tag << ")";
+                return err.str();
+            }
+            ++head.beatsSeen;
+            const bool should_be_last = head.beatsSeen == head.beatsExpected;
+            if (e.last != should_be_last) {
+                err << "R last flag mismatch on tag " << e.tag << " (beat "
+                    << head.beatsSeen << "/" << head.beatsExpected << ")";
+                return err.str();
+            }
+            if (e.last)
+                q.pop_front();
+            break;
+          }
+          case AxiChannel::W: {
+            // Find the oldest incomplete write burst with this tag.
+            bool found = false;
+            for (auto &[id, q] : writes) {
+                for (auto &o : q) {
+                    if (o.tag == e.tag && o.beatsSeen < o.beatsExpected) {
+                        ++o.beatsSeen;
+                        const bool last = o.beatsSeen == o.beatsExpected;
+                        if (e.last != last) {
+                            err << "W last flag mismatch on tag " << e.tag;
+                            return err.str();
+                        }
+                        if (last)
+                            writeDataDone[e.tag] = true;
+                        found = true;
+                        break;
+                    }
+                }
+                if (found)
+                    break;
+            }
+            if (!found) {
+                err << "W beat with tag " << e.tag
+                    << " matches no outstanding write";
+                return err.str();
+            }
+            break;
+          }
+          case AxiChannel::B: {
+            auto &q = writes[e.id];
+            if (q.empty()) {
+                err << "B response for id " << e.id
+                    << " with no outstanding write";
+                return err.str();
+            }
+            if (q.front().tag != e.tag) {
+                err << "B response tag " << e.tag << " on id " << e.id
+                    << " violates same-ID ordering";
+                return err.str();
+            }
+            auto it = writeDataDone.find(e.tag);
+            if (it == writeDataDone.end() || !it->second) {
+                err << "B response before final W beat on tag " << e.tag;
+                return err.str();
+            }
+            q.pop_front();
+            writeDataDone.erase(it);
+            break;
+          }
+        }
+    }
+    return "";
+}
+
+} // namespace beethoven

@@ -1,0 +1,80 @@
+#include "base/bits.h"
+
+namespace beethoven
+{
+
+BitVector::BitVector(std::size_t nbits)
+    : _numBits(nbits), _words((nbits + 63) / 64, 0)
+{}
+
+void
+BitVector::resize(std::size_t nbits)
+{
+    _numBits = nbits;
+    _words.resize((nbits + 63) / 64, 0);
+    // Clear any bits beyond the new width in the top word.
+    if (_numBits % 64 != 0 && !_words.empty())
+        _words.back() &= mask(static_cast<unsigned>(_numBits % 64));
+}
+
+void
+BitVector::setBits(std::size_t first, unsigned nbits, u64 field)
+{
+    beethoven_assert(nbits <= 64, "setBits width %u > 64", nbits);
+    beethoven_assert(first + nbits <= _numBits,
+                     "setBits out of range: [%zu, %zu) in %zu-bit vector",
+                     first, first + nbits, _numBits);
+    if (nbits == 0)
+        return;
+    field &= mask(nbits);
+    const std::size_t w = first / 64;
+    const unsigned off = static_cast<unsigned>(first % 64);
+    _words[w] = insertBits(_words[w], off,
+                           nbits < 64 - off ? nbits : 64 - off, field);
+    if (off + nbits > 64) {
+        const unsigned lo = 64 - off;
+        _words[w + 1] = insertBits(_words[w + 1], 0, nbits - lo,
+                                   field >> lo);
+    }
+}
+
+u64
+BitVector::getBits(std::size_t first, unsigned nbits) const
+{
+    beethoven_assert(nbits <= 64, "getBits width %u > 64", nbits);
+    beethoven_assert(first + nbits <= _numBits,
+                     "getBits out of range: [%zu, %zu) in %zu-bit vector",
+                     first, first + nbits, _numBits);
+    if (nbits == 0)
+        return 0;
+    const std::size_t w = first / 64;
+    const unsigned off = static_cast<unsigned>(first % 64);
+    u64 value = _words[w] >> off;
+    if (off + nbits > 64)
+        value |= _words[w + 1] << (64 - off);
+    return value & mask(nbits);
+}
+
+u64
+BitVector::word(std::size_t idx) const
+{
+    return idx < _words.size() ? _words[idx] : 0;
+}
+
+void
+BitVector::setWord(std::size_t idx, u64 value)
+{
+    beethoven_assert(idx < _words.size(), "setWord index %zu out of range",
+                     idx);
+    _words[idx] = value;
+    if (idx == _words.size() - 1 && _numBits % 64 != 0)
+        _words[idx] &= mask(static_cast<unsigned>(_numBits % 64));
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return _numBits == other._numBits && _words == other._words;
+}
+
+} // namespace beethoven

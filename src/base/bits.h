@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bit-manipulation helpers and an arbitrary-width BitVector used for
+ * packing custom accelerator command payloads into RoCC instruction
+ * beats (Section II-B of the paper: "Custom commands are transparently
+ * mapped onto the RoCC instruction format").
+ */
+
+#ifndef BEETHOVEN_BASE_BITS_H
+#define BEETHOVEN_BASE_BITS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/** Mask with the low @p nbits bits set (nbits in [0, 64]). */
+constexpr u64
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~u64(0) : ((u64(1) << nbits) - 1);
+}
+
+/** Extract bits [first, first+nbits) of @p value. */
+constexpr u64
+bits(u64 value, unsigned first, unsigned nbits)
+{
+    return (value >> first) & mask(nbits);
+}
+
+/** Insert the low @p nbits of @p field into @p value at bit @p first. */
+constexpr u64
+insertBits(u64 value, unsigned first, unsigned nbits, u64 field)
+{
+    const u64 m = mask(nbits) << first;
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** ceil(log2(v)) for v >= 1. */
+constexpr unsigned
+ceilLog2(u64 v)
+{
+    unsigned n = 0;
+    u64 p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p v up to the next multiple of @p align (align > 0). */
+constexpr u64
+roundUp(u64 v, u64 align)
+{
+    return ((v + align - 1) / align) * align;
+}
+
+/** Ceiling division. */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * A little-endian bit vector of arbitrary width.
+ *
+ * Bit 0 is the least-significant bit of word 0. Used as the staging
+ * buffer when flattening a custom command's fields into the 128-bit
+ * payload chunks carried by successive RoCC beats, and when unpacking
+ * them again inside the accelerator core.
+ */
+class BitVector
+{
+  public:
+    /** Construct an all-zero vector of @p nbits bits. */
+    explicit BitVector(std::size_t nbits = 0);
+
+    std::size_t numBits() const { return _numBits; }
+
+    /** Widen (or shrink) to @p nbits, preserving low-order content. */
+    void resize(std::size_t nbits);
+
+    /**
+     * Write the low @p nbits of @p field at bit offset @p first.
+     * @pre first + nbits <= numBits() and nbits <= 64.
+     */
+    void setBits(std::size_t first, unsigned nbits, u64 field);
+
+    /**
+     * Read @p nbits bits starting at offset @p first.
+     * @pre first + nbits <= numBits() and nbits <= 64.
+     */
+    u64 getBits(std::size_t first, unsigned nbits) const;
+
+    /** Read one 64-bit word at word index @p idx (zero-padded). */
+    u64 word(std::size_t idx) const;
+
+    /** Write one 64-bit word at word index @p idx. */
+    void setWord(std::size_t idx, u64 value);
+
+    /** Number of 64-bit words needed to hold numBits(). */
+    std::size_t numWords() const { return _words.size(); }
+
+    bool operator==(const BitVector &other) const;
+
+  private:
+    std::size_t _numBits;
+    std::vector<u64> _words;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_BITS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * All stochastic behaviour in the framework (workload generation, test
+ * fuzzing) draws from explicitly seeded Rng instances so that every
+ * simulation run and every test is exactly reproducible.
+ */
+
+#ifndef BEETHOVEN_BASE_RNG_H
+#define BEETHOVEN_BASE_RNG_H
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/** SplitMix64: tiny, fast, and statistically solid for test inputs. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) : _state(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    u64
+    nextBounded(u64 bound)
+    {
+        return bound <= 1 ? 0 : next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    u64
+    nextRange(u64 lo, u64 hi)
+    {
+        return lo + nextBounded(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    u64 _state;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_RNG_H

@@ -1,0 +1,87 @@
+#include "base/stats.h"
+
+#include <memory>
+
+namespace beethoven
+{
+
+void
+StatHistogram::configure(std::size_t nbuckets, double bucket_width)
+{
+    _buckets.assign(nbuckets + 1, 0); // +1 overflow bucket
+    _bucketWidth = bucket_width;
+}
+
+void
+StatHistogram::sample(double v)
+{
+    if (_buckets.empty())
+        configure(16, 1.0);
+    if (_samples == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+    }
+    ++_samples;
+    _sum += v;
+    std::size_t idx = static_cast<std::size_t>(v / _bucketWidth);
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    ++_buckets[idx];
+}
+
+StatGroup &
+StatGroup::group(const std::string &name)
+{
+    auto it = _children.find(name);
+    if (it == _children.end())
+        it = _children.emplace(name, std::make_unique<StatGroup>(name)).first;
+    return *it->second;
+}
+
+StatScalar &
+StatGroup::scalar(const std::string &name)
+{
+    return _scalars[name];
+}
+
+StatHistogram &
+StatGroup::histogram(const std::string &name)
+{
+    return _histograms[name];
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[name, s] : _scalars)
+        os << base << "." << name << " = " << s.value() << "\n";
+    for (const auto &[name, h] : _histograms) {
+        os << base << "." << name << ".samples = " << h.samples() << "\n";
+        os << base << "." << name << ".mean = " << h.mean() << "\n";
+        os << base << "." << name << ".max = " << h.max() << "\n";
+    }
+    for (const auto &[name, child] : _children)
+        child->dump(os, base);
+}
+
+const StatScalar *
+StatGroup::findScalar(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = _scalars.find(dotted_path);
+        return it == _scalars.end() ? nullptr : &it->second;
+    }
+    auto it = _children.find(dotted_path.substr(0, dot));
+    if (it == _children.end())
+        return nullptr;
+    return it->second->findScalar(dotted_path.substr(dot + 1));
+}
+
+} // namespace beethoven

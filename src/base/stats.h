@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics collection for the simulation substrate.
+ *
+ * Modules register named scalar counters and histograms against a
+ * StatGroup; the elaborated SoC exposes the root group so benchmarks
+ * can dump per-module statistics (queue occupancies, DRAM row hits,
+ * reader throughput, ...) after a run.
+ */
+
+#ifndef BEETHOVEN_BASE_STATS_H
+#define BEETHOVEN_BASE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/** A named monotonically-updated scalar statistic. */
+class StatScalar
+{
+  public:
+    StatScalar() = default;
+
+    void operator+=(double v) { _value += v; }
+    void operator++() { _value += 1.0; }
+    void operator++(int) { _value += 1.0; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A simple fixed-bucket histogram (linear buckets plus overflow). */
+class StatHistogram
+{
+  public:
+    StatHistogram() = default;
+
+    /** Configure @p nbuckets linear buckets of width @p bucket_width. */
+    void configure(std::size_t nbuckets, double bucket_width);
+
+    void sample(double v);
+
+    std::size_t samples() const { return _samples; }
+    double sum() const { return _sum; }
+    double mean() const { return _samples ? _sum / _samples : 0.0; }
+    double max() const { return _max; }
+    double min() const { return _samples ? _min : 0.0; }
+    const std::vector<u64> &buckets() const { return _buckets; }
+    double bucketWidth() const { return _bucketWidth; }
+
+  private:
+    std::vector<u64> _buckets;
+    double _bucketWidth = 1.0;
+    std::size_t _samples = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A hierarchical group of named statistics.
+ *
+ * Groups own their children; leaf statistics are owned by the group and
+ * referenced by the registering module for the lifetime of the SoC.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "root") : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Get or create a child group. */
+    StatGroup &group(const std::string &name);
+
+    /** Get or create a named scalar in this group. */
+    StatScalar &scalar(const std::string &name);
+
+    /** Get or create a named histogram in this group. */
+    StatHistogram &histogram(const std::string &name);
+
+    const std::string &name() const { return _name; }
+
+    /** Recursively print "path.to.stat = value" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Look up a scalar by dotted path; nullptr if absent. */
+    const StatScalar *findScalar(const std::string &dotted_path) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, std::unique_ptr<StatGroup>> _children;
+    std::map<std::string, StatScalar> _scalars;
+    std::map<std::string, StatHistogram> _histograms;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_STATS_H

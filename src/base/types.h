@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the Beethoven framework.
+ */
+
+#ifndef BEETHOVEN_BASE_TYPES_H
+#define BEETHOVEN_BASE_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace beethoven
+{
+
+/** Simulation cycle count (accelerator clock domain). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the accelerator-visible memory space. */
+using Addr = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Binary size literals. */
+constexpr std::size_t operator""_KiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 10;
+}
+
+constexpr std::size_t operator""_MiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 20;
+}
+
+constexpr std::size_t operator""_GiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 30;
+}
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_TYPES_H

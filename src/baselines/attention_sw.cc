@@ -1,0 +1,124 @@
+#include "baselines/attention_sw.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "accel/a3/a3_core.h"
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace beethoven::a3
+{
+
+std::vector<i8>
+goldenAttention(const std::vector<i8> &keys,
+                const std::vector<i8> &values,
+                const std::vector<i8> &query, unsigned n_keys,
+                unsigned dim)
+{
+    beethoven_assert(keys.size() == std::size_t(n_keys) * dim &&
+                         values.size() == std::size_t(n_keys) * dim &&
+                         query.size() == dim,
+                     "attention operand size mismatch");
+    // Stage 1: scores + extremum.
+    std::vector<i32> scores(n_keys);
+    i32 max_score = 0;
+    for (unsigned k = 0; k < n_keys; ++k) {
+        i32 acc = 0;
+        for (unsigned d = 0; d < dim; ++d)
+            acc += i32(query[d]) * i32(keys[k * dim + d]);
+        scores[k] = acc;
+        if (k == 0 || acc > max_score)
+            max_score = acc;
+    }
+    // Stage 2: LUT exponentiation + weight sum.
+    std::vector<u16> weights(n_keys);
+    u32 weight_sum = 0;
+    for (unsigned k = 0; k < n_keys; ++k) {
+        const i32 d = max_score - scores[k];
+        const unsigned idx =
+            std::min<u32>(static_cast<u32>(d) >> A3Params::expShift,
+                          A3Params::lutEntries - 1);
+        weights[k] = expTable()[idx];
+        weight_sum += weights[k];
+    }
+    // Stage 3: weighted value sum, normalization, quantization.
+    std::vector<i8> out(dim);
+    const i64 sum = std::max<i64>(weight_sum, 1);
+    for (unsigned d = 0; d < dim; ++d) {
+        i64 acc = 0;
+        for (unsigned k = 0; k < n_keys; ++k)
+            acc += i64(weights[k]) * i64(values[k * dim + d]);
+        i64 v = acc / sum;
+        v = std::clamp<i64>(v, -128, 127);
+        out[d] = static_cast<i8>(v);
+    }
+    return out;
+}
+
+void
+softwareAttentionF32(const float *query, const float *keys,
+                     const float *values, float *out, unsigned n_keys,
+                     unsigned dim)
+{
+    std::vector<float> scores(n_keys);
+    float max_score = -1e30f;
+    for (unsigned k = 0; k < n_keys; ++k) {
+        float acc = 0.0f;
+        for (unsigned d = 0; d < dim; ++d)
+            acc += query[d] * keys[k * dim + d];
+        scores[k] = acc;
+        max_score = std::max(max_score, acc);
+    }
+    float sum = 0.0f;
+    for (unsigned k = 0; k < n_keys; ++k) {
+        scores[k] = std::exp(scores[k] - max_score);
+        sum += scores[k];
+    }
+    const float inv = 1.0f / sum;
+    for (unsigned d = 0; d < dim; ++d)
+        out[d] = 0.0f;
+    for (unsigned k = 0; k < n_keys; ++k) {
+        const float w = scores[k] * inv;
+        for (unsigned d = 0; d < dim; ++d)
+            out[d] += w * values[k * dim + d];
+    }
+}
+
+double
+measureCpuAttentionOpsPerSecond(unsigned n_keys, unsigned dim,
+                                double min_seconds)
+{
+    Rng rng(2024);
+    std::vector<float> keys(std::size_t(n_keys) * dim);
+    std::vector<float> values(std::size_t(n_keys) * dim);
+    std::vector<float> query(dim), out(dim);
+    for (auto &v : keys)
+        v = static_cast<float>(rng.nextDouble()) - 0.5f;
+    for (auto &v : values)
+        v = static_cast<float>(rng.nextDouble()) - 0.5f;
+    for (auto &v : query)
+        v = static_cast<float>(rng.nextDouble()) - 0.5f;
+
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    std::size_t ops = 0;
+    volatile float sink = 0.0f;
+    for (;;) {
+        for (unsigned rep = 0; rep < 64; ++rep) {
+            softwareAttentionF32(query.data(), keys.data(),
+                                 values.data(), out.data(), n_keys,
+                                 dim);
+            sink = sink + out[0];
+            ++ops;
+        }
+        const double elapsed =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        if (elapsed >= min_seconds)
+            return static_cast<double>(ops) / elapsed;
+    }
+}
+
+} // namespace beethoven::a3

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Software attention references for the A3 case study (Table III).
+ *
+ * - goldenAttention: the exact fixed-point computation the A3Core
+ *   performs (same exp LUT, same rounding), used for correctness.
+ * - softwareAttentionF32 / measureCpuAttention: the FP32 CPU baseline,
+ *   actually executed and timed on the build host (the paper used a
+ *   12-core i7-12700K; DESIGN.md documents the substitution).
+ */
+
+#ifndef BEETHOVEN_BASELINES_ATTENTION_SW_H
+#define BEETHOVEN_BASELINES_ATTENTION_SW_H
+
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven::a3
+{
+
+/**
+ * Bit-exact reference of A3Core's pipeline for one query.
+ *
+ * @param keys    n_keys x dim int8 key matrix (row-major)
+ * @param values  n_keys x dim int8 value matrix
+ * @param query   dim int8 query vector
+ * @return        dim int8 attention output
+ */
+std::vector<i8> goldenAttention(const std::vector<i8> &keys,
+                                const std::vector<i8> &values,
+                                const std::vector<i8> &query,
+                                unsigned n_keys, unsigned dim);
+
+/** Exact FP32 softmax attention for one query (CPU baseline math). */
+void softwareAttentionF32(const float *query, const float *keys,
+                          const float *values, float *out,
+                          unsigned n_keys, unsigned dim);
+
+/**
+ * Measure single-thread FP32 attention throughput on this host.
+ * @return operations (queries) per second
+ */
+double measureCpuAttentionOpsPerSecond(unsigned n_keys, unsigned dim,
+                                       double min_seconds = 0.25);
+
+} // namespace beethoven::a3
+
+#endif // BEETHOVEN_BASELINES_ATTENTION_SW_H

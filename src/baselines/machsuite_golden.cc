@@ -1,0 +1,134 @@
+#include "baselines/machsuite_golden.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace beethoven::machsuite
+{
+
+std::vector<i32>
+goldenGemm(const std::vector<i32> &a, const std::vector<i32> &bt,
+           unsigned n)
+{
+    beethoven_assert(a.size() == std::size_t(n) * n &&
+                         bt.size() == std::size_t(n) * n,
+                     "gemm operand size mismatch");
+    std::vector<i32> c(std::size_t(n) * n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            i32 acc = 0;
+            for (unsigned kk = 0; kk < n; ++kk)
+                acc += a[i * n + kk] * bt[j * n + kk];
+            c[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+std::vector<i32>
+goldenNw(const std::vector<u8> &seq_a, const std::vector<u8> &seq_b,
+         unsigned n)
+{
+    beethoven_assert(seq_a.size() >= n && seq_b.size() >= n,
+                     "nw sequence too short");
+    std::vector<i32> prev(n + 1), cur(n + 1);
+    for (unsigned j = 0; j <= n; ++j)
+        prev[j] = static_cast<i32>(j) * nwGapScore;
+    for (unsigned i = 1; i <= n; ++i) {
+        cur[0] = static_cast<i32>(i) * nwGapScore;
+        for (unsigned j = 1; j <= n; ++j) {
+            const i32 sub = seq_a[i - 1] == seq_b[j - 1]
+                                ? nwMatchScore
+                                : nwMismatchScore;
+            const i32 diag = prev[j - 1] + sub;
+            const i32 up = prev[j] + nwGapScore;
+            const i32 left = cur[j - 1] + nwGapScore;
+            cur[j] = std::max(diag, std::max(up, left));
+        }
+        std::swap(prev, cur);
+    }
+    return prev;
+}
+
+const i32 stencil2dCoeffs[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+std::vector<i32>
+goldenStencil2d(const std::vector<i32> &in, unsigned rows, unsigned cols)
+{
+    beethoven_assert(in.size() == std::size_t(rows) * cols,
+                     "stencil2d input size mismatch");
+    std::vector<i32> out(in);
+    for (unsigned r = 1; r + 1 < rows; ++r) {
+        for (unsigned c = 1; c + 1 < cols; ++c) {
+            i32 acc = 0;
+            for (unsigned dr = 0; dr < 3; ++dr) {
+                for (unsigned dc = 0; dc < 3; ++dc) {
+                    acc += stencil2dCoeffs[dr * 3 + dc] *
+                           in[(r + dr - 1) * cols + (c + dc - 1)];
+                }
+            }
+            out[r * cols + c] = acc;
+        }
+    }
+    return out;
+}
+
+std::vector<i32>
+goldenStencil3d(const std::vector<i32> &in, unsigned n)
+{
+    beethoven_assert(in.size() == std::size_t(n) * n * n,
+                     "stencil3d input size mismatch");
+    std::vector<i32> out(in);
+    auto at = [&](unsigned x, unsigned y, unsigned z) {
+        return in[(std::size_t(z) * n + y) * n + x];
+    };
+    for (unsigned z = 1; z + 1 < n; ++z) {
+        for (unsigned y = 1; y + 1 < n; ++y) {
+            for (unsigned x = 1; x + 1 < n; ++x) {
+                const i32 sum = at(x - 1, y, z) + at(x + 1, y, z) +
+                                at(x, y - 1, z) + at(x, y + 1, z) +
+                                at(x, y, z - 1) + at(x, y, z + 1);
+                out[(std::size_t(z) * n + y) * n + x] =
+                    stencil3dC0 * at(x, y, z) + stencil3dC1 * sum;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+goldenMdKnn(const std::vector<double> &pos,
+            const std::vector<i32> &neighbors, unsigned n, unsigned k)
+{
+    beethoven_assert(pos.size() == std::size_t(3) * n &&
+                         neighbors.size() == std::size_t(n) * k,
+                     "md-knn input size mismatch");
+    std::vector<double> force(std::size_t(3) * n, 0.0);
+    for (unsigned i = 0; i < n; ++i) {
+        const double xi = pos[3 * i];
+        const double yi = pos[3 * i + 1];
+        const double zi = pos[3 * i + 2];
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        for (unsigned j = 0; j < k; ++j) {
+            const u32 nb = static_cast<u32>(neighbors[i * k + j]);
+            const double dx = xi - pos[3 * nb];
+            const double dy = yi - pos[3 * nb + 1];
+            const double dz = zi - pos[3 * nb + 2];
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            const double r2inv = 1.0 / r2;
+            const double r6inv = r2inv * r2inv * r2inv;
+            const double potential = r6inv * (1.5 * r6inv - 2.0);
+            const double f = r2inv * potential;
+            fx += f * dx;
+            fy += f * dy;
+            fz += f * dz;
+        }
+        force[3 * i] = fx;
+        force[3 * i + 1] = fy;
+        force[3 * i + 2] = fz;
+    }
+    return force;
+}
+
+} // namespace beethoven::machsuite

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden software references for the MachSuite kernels.
+ *
+ * Each function performs the same arithmetic, in the same order, as
+ * the corresponding Beethoven accelerator core, so test comparisons
+ * are exact (including the double-precision MD-KNN force pass).
+ */
+
+#ifndef BEETHOVEN_BASELINES_MACHSUITE_GOLDEN_H
+#define BEETHOVEN_BASELINES_MACHSUITE_GOLDEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven::machsuite
+{
+
+/** C = A x B for n x n int32 matrices (B supplied transposed). */
+std::vector<i32> goldenGemm(const std::vector<i32> &a,
+                            const std::vector<i32> &bt, unsigned n);
+
+/** Needleman-Wunsch scoring constants (MachSuite's values). */
+constexpr i32 nwMatchScore = 1;
+constexpr i32 nwMismatchScore = -1;
+constexpr i32 nwGapScore = -1;
+
+/**
+ * Needleman-Wunsch DP over two n-char sequences.
+ * @return the final row of the score matrix (n+1 entries); the last
+ *         element is the global alignment score.
+ */
+std::vector<i32> goldenNw(const std::vector<u8> &seq_a,
+                          const std::vector<u8> &seq_b, unsigned n);
+
+/** 3x3 stencil filter coefficients (MachSuite's stencil2d shape). */
+extern const i32 stencil2dCoeffs[9];
+
+/**
+ * 3x3 stencil over a rows x cols int32 grid; border cells pass
+ * through unchanged (MachSuite convention).
+ */
+std::vector<i32> goldenStencil2d(const std::vector<i32> &in,
+                                 unsigned rows, unsigned cols);
+
+/**
+ * 7-point stencil over an n^3 int32 volume; boundary cells pass
+ * through. out[c] = C0*in[c] + C1*sum(6 neighbors).
+ */
+constexpr i32 stencil3dC0 = 2;
+constexpr i32 stencil3dC1 = 1;
+std::vector<i32> goldenStencil3d(const std::vector<i32> &in, unsigned n);
+
+/**
+ * MD-KNN Lennard-Jones force pass (MachSuite md/knn): for each atom,
+ * accumulate forces from its K listed neighbors.
+ *
+ * @param pos        3*n doubles (x,y,z per atom)
+ * @param neighbors  n*k neighbor indices
+ * @return           3*n force components
+ */
+std::vector<double> goldenMdKnn(const std::vector<double> &pos,
+                                const std::vector<i32> &neighbors,
+                                unsigned n, unsigned k);
+
+} // namespace beethoven::machsuite
+
+#endif // BEETHOVEN_BASELINES_MACHSUITE_GOLDEN_H

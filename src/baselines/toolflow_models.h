@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Performance models of the Vitis HLS and Spatial MachSuite baselines
+ * (Section III-B).
+ *
+ * The paper hand-tuned pragmas for both tool flows on a real VU9P; we
+ * cannot run the proprietary compilers, so each baseline is a
+ * documented analytic model: achieved initiation interval x trip count
+ * at the clock the tool closed timing at (DESIGN.md, substitution
+ * table). The IIs and clocks encode the well-known behaviours the
+ * paper leans on: stencils line-buffer beautifully in HLS (II=1 at a
+ * high clock), loop-carried kernels (NW's max chain, MD-KNN's
+ * double-precision accumulation) get stuck at II equal to the
+ * dependence chain latency, and "the reported optimal design points
+ * often did not pass FPGA image synthesis" caps Spatial's unrolling.
+ */
+
+#ifndef BEETHOVEN_BASELINES_TOOLFLOW_MODELS_H
+#define BEETHOVEN_BASELINES_TOOLFLOW_MODELS_H
+
+#include <string>
+
+#include "base/types.h"
+
+namespace beethoven::baselines
+{
+
+struct ToolflowPoint
+{
+    std::string tool;
+    std::string kernel;
+    double cyclesPerOp = 1;
+    double clockMHz = 250;
+    std::string notes;
+
+    double
+    opsPerSecond() const
+    {
+        return clockMHz * 1e6 / cyclesPerOp;
+    }
+};
+
+/**
+ * Vitis HLS model for a Table I kernel.
+ * @param kernel one of GeMM | NW | Stencil2D | Stencil3D | MD-KNN
+ */
+ToolflowPoint vitisHlsModel(const std::string &kernel, unsigned n,
+                            unsigned k);
+
+/** Spatial model for a Table I kernel. */
+ToolflowPoint spatialModel(const std::string &kernel, unsigned n,
+                           unsigned k);
+
+} // namespace beethoven::baselines
+
+#endif // BEETHOVEN_BASELINES_TOOLFLOW_MODELS_H

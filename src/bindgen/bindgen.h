@@ -1,0 +1,51 @@
+/**
+ * @file
+ * C++ binding generation (Fig. 3b).
+ *
+ * "Beethoven takes developer-defined custom command format for a core
+ * and generates a C++ library with the custom command arguments
+ * instead of forcing the developer to perform this mapping
+ * themselves."
+ *
+ * generateBindingsHeader() emits the namespace-per-System stub header
+ * (function per command, typed arguments, response_handle return);
+ * generateBindingsSource() emits the packing implementation, which
+ * routes through the same fpga_handle_t::invoke() path the dynamic API
+ * uses — so "the same software testbench can be used across systems
+ * where the instrumentation or device details are different": address
+ * widths and field layouts live in the CommandSpec, not the testbench.
+ */
+
+#ifndef BEETHOVEN_BINDGEN_BINDGEN_H
+#define BEETHOVEN_BINDGEN_BINDGEN_H
+
+#include <string>
+
+#include "core/config.h"
+
+namespace beethoven
+{
+
+/** The C++ argument type used for a command field. */
+std::string fieldArgType(const CommandField &field);
+
+/** Emit the generated header text for one System's commands. */
+std::string generateBindingsHeader(const AcceleratorSystemConfig &sys);
+
+/** Emit the generated implementation text for one System's commands. */
+std::string generateBindingsSource(const AcceleratorSystemConfig &sys,
+                                   const std::string &header_name);
+
+/** Emit header + source for every System of an accelerator config. */
+struct GeneratedBindings
+{
+    std::string headerName;
+    std::string header;
+    std::string sourceName;
+    std::string source;
+};
+GeneratedBindings generateBindings(const AcceleratorConfig &config);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BINDGEN_BINDGEN_H

@@ -1,0 +1,133 @@
+#include "cmd/command_spec.h"
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+CommandSpec::CommandSpec(std::string name,
+                         std::vector<CommandField> fields,
+                         unsigned resp_bits)
+    : _name(std::move(name)), _fields(std::move(fields)),
+      _respBits(resp_bits)
+{
+    if (_name.empty())
+        fatal("command spec with empty name");
+    for (const auto &f : _fields) {
+        if (f.bits == 0 || f.bits > 64) {
+            fatal("command %s: field %s width %u outside [1, 64]",
+                  _name.c_str(), f.name.c_str(), f.bits);
+        }
+    }
+    if (_respBits > 64) {
+        fatal("command %s: response width %u exceeds the 64-bit RoCC "
+              "writeback register",
+              _name.c_str(), _respBits);
+    }
+}
+
+unsigned
+CommandSpec::payloadBits() const
+{
+    unsigned total = 0;
+    for (const auto &f : _fields)
+        total += f.bits;
+    return total;
+}
+
+unsigned
+CommandSpec::numBeats() const
+{
+    const unsigned payload = payloadBits();
+    if (payload == 0)
+        return 1;
+    return static_cast<unsigned>(
+        divCeil(payload, RoccCommand::payloadBitsPerBeat));
+}
+
+std::vector<RoccCommand>
+CommandSpec::pack(u32 system_id, u32 core_id, u32 command_id, u32 rd,
+                  const std::vector<u64> &values) const
+{
+    if (values.size() != _fields.size()) {
+        fatal("command %s: %zu values for %zu fields", _name.c_str(),
+              values.size(), _fields.size());
+    }
+    if (system_id >= RoccCommand::maxSystems)
+        fatal("system ID %u out of range", system_id);
+    if (command_id >= RoccCommand::maxCommands)
+        fatal("command ID %u out of range", command_id);
+    if (core_id >= RoccCommand::maxCores)
+        fatal("core ID %u out of range", core_id);
+
+    // Flatten fields into a contiguous payload bit vector.
+    BitVector payload(numBeats() * RoccCommand::payloadBitsPerBeat);
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < _fields.size(); ++i) {
+        const CommandField &f = _fields[i];
+        if (f.bits < 64 && (values[i] & ~mask(f.bits)) != 0) {
+            fatal("command %s: value 0x%llx overflows %u-bit field %s",
+                  _name.c_str(),
+                  static_cast<unsigned long long>(values[i]), f.bits,
+                  f.name.c_str());
+        }
+        payload.setBits(offset, f.bits, values[i]);
+        offset += f.bits;
+    }
+
+    std::vector<RoccCommand> beats(numBeats());
+    for (std::size_t b = 0; b < beats.size(); ++b) {
+        RoccCommand &beat = beats[b];
+        beat.setOpcode(RoccCommand::customOpcode);
+        beat.setSystemId(system_id);
+        beat.setCommandId(command_id);
+        beat.setCoreId(core_id);
+        beat.setRd(rd);
+        // Only the final beat signals completion/response expectation.
+        beat.setXd(b + 1 == beats.size());
+        beat.rs1 = payload.word(2 * b);
+        beat.rs2 = payload.word(2 * b + 1);
+    }
+    return beats;
+}
+
+std::vector<u64>
+CommandSpec::unpack(const std::vector<RoccCommand> &beats) const
+{
+    beethoven_assert(beats.size() == numBeats(),
+                     "command %s: %zu beats, expected %u", _name.c_str(),
+                     beats.size(), numBeats());
+    BitVector payload(numBeats() * RoccCommand::payloadBitsPerBeat);
+    for (std::size_t b = 0; b < beats.size(); ++b) {
+        payload.setWord(2 * b, beats[b].rs1);
+        payload.setWord(2 * b + 1, beats[b].rs2);
+    }
+    std::vector<u64> values;
+    values.reserve(_fields.size());
+    std::size_t offset = 0;
+    for (const auto &f : _fields) {
+        values.push_back(payload.getBits(offset, f.bits));
+        offset += f.bits;
+    }
+    return values;
+}
+
+bool
+CommandAssembler::feed(const RoccCommand &beat)
+{
+    if (!_args.empty()) {
+        // Previous command consumed; start fresh.
+        _args.clear();
+        _beats.clear();
+    }
+    _beats.push_back(beat);
+    if (_beats.size() < _spec->numBeats())
+        return false;
+    _args = _spec->unpack(_beats);
+    _rd = _beats.back().rd();
+    _xd = _beats.back().xd();
+    _beats.clear();
+    return true;
+}
+
+} // namespace beethoven

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Custom command/response formats (Section II-B, "Command
+ * Abstractions").
+ *
+ * "Beethoven takes developer-defined custom command format for a core
+ * and generates a C++ library with the custom command arguments
+ * instead of forcing the developer to perform this mapping
+ * themselves."
+ *
+ * A CommandSpec declares the ordered payload fields of an AccelCommand
+ * (Fig. 2's BeethovenIO). Fields are packed least-significant-first
+ * into the 128 payload bits of successive RoCC beats; the same spec
+ * drives the host-side stub (runtime::call / bindgen) and the
+ * core-side CommandAssembler, so hardware and software can never skew.
+ */
+
+#ifndef BEETHOVEN_CMD_COMMAND_SPEC_H
+#define BEETHOVEN_CMD_COMMAND_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "base/bits.h"
+#include "cmd/rocc.h"
+
+namespace beethoven
+{
+
+/** One payload field of a custom command or response. */
+struct CommandField
+{
+    std::string name;
+    unsigned bits = 0;
+    bool isAddress = false; ///< declared via Address() in the paper's API
+
+    static CommandField
+    uint(std::string name, unsigned bits)
+    {
+        return CommandField{std::move(name), bits, false};
+    }
+
+    /** An accelerator-memory address field (platform address width). */
+    static CommandField
+    address(std::string name, unsigned addr_bits = 34)
+    {
+        return CommandField{std::move(name), addr_bits, true};
+    }
+};
+
+/**
+ * A named custom command: payload fields plus (optional) response
+ * payload. Response payloads are limited to one 64-bit beat, matching
+ * the RoCC writeback register.
+ */
+class CommandSpec
+{
+  public:
+    CommandSpec() = default;
+
+    /**
+     * @param name      binding name (becomes the generated C++ function)
+     * @param fields    ordered payload fields (each <= 64 bits)
+     * @param resp_bits response payload width (0 = EmptyAccelResponse,
+     *                  which still acknowledges completion)
+     */
+    CommandSpec(std::string name, std::vector<CommandField> fields,
+                unsigned resp_bits = 0);
+
+    const std::string &name() const { return _name; }
+    const std::vector<CommandField> &fields() const { return _fields; }
+    unsigned respBits() const { return _respBits; }
+
+    /** Total payload width in bits. */
+    unsigned payloadBits() const;
+
+    /** RoCC beats needed to carry the payload (>= 1). */
+    unsigned numBeats() const;
+
+    /**
+     * Pack field values (one per declared field, in order) into RoCC
+     * beats routed to (system, core) with the given command ID.
+     * Every beat expects a response only on the final beat (xd).
+     */
+    std::vector<RoccCommand> pack(u32 system_id, u32 core_id,
+                                  u32 command_id, u32 rd,
+                                  const std::vector<u64> &values) const;
+
+    /** Recover field values from a full sequence of beats. */
+    std::vector<u64> unpack(const std::vector<RoccCommand> &beats) const;
+
+  private:
+    std::string _name;
+    std::vector<CommandField> _fields;
+    unsigned _respBits = 0;
+};
+
+/**
+ * Core-side helper that accumulates RoCC beats until a full command
+ * payload is present, then exposes the decoded argument values.
+ */
+class CommandAssembler
+{
+  public:
+    explicit CommandAssembler(const CommandSpec &spec) : _spec(&spec) {}
+
+    /**
+     * Feed one beat. @return true when the command is now complete and
+     * args() / rd() are valid (resets automatically on the next feed).
+     */
+    bool feed(const RoccCommand &beat);
+
+    const std::vector<u64> &args() const { return _args; }
+    u32 rd() const { return _rd; }
+    bool expectsResponse() const { return _xd; }
+
+  private:
+    const CommandSpec *_spec;
+    std::vector<RoccCommand> _beats;
+    std::vector<u64> _args;
+    u32 _rd = 0;
+    bool _xd = false;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_CMD_COMMAND_SPEC_H

@@ -1,0 +1,95 @@
+#include "cmd/mmio.h"
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+MmioCommandSystem::MmioCommandSystem(Simulator &sim, std::string name,
+                                     std::size_t queue_depth)
+    : Module(sim, std::move(name)),
+      _cmdOut(sim, queue_depth),
+      _respIn(sim, queue_depth)
+{}
+
+void
+MmioCommandSystem::write32(u32 offset, u32 value)
+{
+    switch (offset) {
+      case mmio_regs::cmdBits:
+        if (_stageCount < _stage.size())
+            _stage[_stageCount++] = value;
+        else
+            warn("%s: CMD_BITS write overrun dropped", name().c_str());
+        break;
+      case mmio_regs::cmdValid:
+        if (value != 0) {
+            if (_stageCount != _stage.size()) {
+                warn("%s: CMD_VALID with %u/5 words staged; dropped",
+                     name().c_str(), _stageCount);
+                _stageCount = 0;
+                break;
+            }
+            _submitPending = true;
+        }
+        break;
+      case mmio_regs::respReady:
+        if (value != 0 && _respHeld) {
+            _respHeld = false;
+            _respReadIdx = 0;
+        }
+        break;
+      default:
+        warn("%s: write to unmapped MMIO offset 0x%x", name().c_str(),
+             offset);
+    }
+}
+
+u32
+MmioCommandSystem::read32(u32 offset) const
+{
+    switch (offset) {
+      case mmio_regs::cmdReady:
+        return (!_submitPending && _cmdOut.canPush()) ? 1 : 0;
+      case mmio_regs::respValid:
+        return _respHeld ? 1 : 0;
+      case mmio_regs::respBits: {
+        if (!_respHeld)
+            return 0;
+        const unsigned idx = _respReadIdx;
+        _respReadIdx = (_respReadIdx + 1) % 3;
+        switch (idx) {
+          case 0: return static_cast<u32>(_respReg.data);
+          case 1: return static_cast<u32>(_respReg.data >> 32);
+          default:
+            return (_respReg.systemId << 16) | (_respReg.coreId << 5) |
+                   _respReg.rd;
+        }
+      }
+      default:
+        warn("%s: read from unmapped MMIO offset 0x%x", name().c_str(),
+             offset);
+        return 0;
+    }
+}
+
+void
+MmioCommandSystem::tick()
+{
+    if (_submitPending && _cmdOut.canPush()) {
+        RoccCommand beat;
+        beat.inst = _stage[0];
+        beat.rs1 = u64(_stage[1]) | (u64(_stage[2]) << 32);
+        beat.rs2 = u64(_stage[3]) | (u64(_stage[4]) << 32);
+        _cmdOut.push(beat);
+        _stageCount = 0;
+        _submitPending = false;
+    }
+    if (!_respHeld && _respIn.canPop()) {
+        _respReg = _respIn.pop();
+        _respHeld = true;
+        _respReadIdx = 0;
+    }
+}
+
+} // namespace beethoven

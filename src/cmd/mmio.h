@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The MMIO Command/Response System (Fig. 1a).
+ *
+ * "Commands are sent from the host to the accelerator over a
+ * Memory-Mapped IO (MMIO) interface to the MMIO Command/Response
+ * System, which converts the system bus protocol into RoCC
+ * instructions."
+ *
+ * The register map is 32-bit, matching a typical AXI-Lite window:
+ *
+ *   0x00  CMD_BITS    W   five writes stage one 160-bit RoCC beat
+ *                         (inst, rs1.lo, rs1.hi, rs2.lo, rs2.hi)
+ *   0x04  CMD_VALID   W   submit the staged beat into the fabric
+ *   0x08  CMD_READY   R   1 when a staged beat would be accepted
+ *   0x0C  RESP_BITS   R   three reads drain one response
+ *                         (data.lo, data.hi, routing word)
+ *   0x10  RESP_VALID  R   1 when a response is waiting
+ *   0x14  RESP_READY  W   pop the current response
+ *
+ * Host-side access latency is modeled by the runtime's HostInterface
+ * (PCIe-scale on discrete platforms); this module is the device side.
+ */
+
+#ifndef BEETHOVEN_CMD_MMIO_H
+#define BEETHOVEN_CMD_MMIO_H
+
+#include <array>
+
+#include "cmd/rocc.h"
+#include "sim/module.h"
+#include "sim/queue.h"
+
+namespace beethoven
+{
+
+/** MMIO register offsets. */
+namespace mmio_regs
+{
+constexpr u32 cmdBits = 0x00;
+constexpr u32 cmdValid = 0x04;
+constexpr u32 cmdReady = 0x08;
+constexpr u32 respBits = 0x0C;
+constexpr u32 respValid = 0x10;
+constexpr u32 respReady = 0x14;
+} // namespace mmio_regs
+
+class MmioCommandSystem : public Module
+{
+  public:
+    MmioCommandSystem(Simulator &sim, std::string name,
+                      std::size_t queue_depth = 4);
+
+    /** Fabric side: command beats out, response beats in. */
+    TimedQueue<RoccCommand> &cmdOut() { return _cmdOut; }
+    TimedQueue<RoccResponse> &respIn() { return _respIn; }
+
+    /**
+     * Device-side register access, invoked by the HostInterface at the
+     * modeled completion time of each MMIO operation.
+     */
+    void write32(u32 offset, u32 value);
+    u32 read32(u32 offset) const;
+
+    void tick() override;
+
+  private:
+    TimedQueue<RoccCommand> _cmdOut;
+    TimedQueue<RoccResponse> _respIn;
+
+    std::array<u32, 5> _stage{};
+    unsigned _stageCount = 0;
+    bool _submitPending = false;
+
+    bool _respHeld = false;
+    RoccResponse _respReg;
+    mutable unsigned _respReadIdx = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_CMD_MMIO_H

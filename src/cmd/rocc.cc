@@ -1,0 +1,83 @@
+#include "cmd/rocc.h"
+
+#include "base/bits.h"
+
+namespace beethoven
+{
+
+u32
+RoccCommand::opcode() const
+{
+    return static_cast<u32>(bits(inst, 0, 7));
+}
+
+u32
+RoccCommand::rd() const
+{
+    return static_cast<u32>(bits(inst, 7, 5));
+}
+
+bool
+RoccCommand::xd() const
+{
+    return bits(inst, 12, 1) != 0;
+}
+
+u32
+RoccCommand::systemId() const
+{
+    return static_cast<u32>(bits(inst, 28, 4)); // funct7[6:3]
+}
+
+u32
+RoccCommand::commandId() const
+{
+    return static_cast<u32>(bits(inst, 25, 3)); // funct7[2:0]
+}
+
+u32
+RoccCommand::coreId() const
+{
+    const u32 lo = static_cast<u32>(bits(inst, 15, 5)); // rs1 field
+    const u32 hi = static_cast<u32>(bits(inst, 20, 5)); // rs2 field
+    return (hi << 5) | lo;
+}
+
+void
+RoccCommand::setOpcode(u32 v)
+{
+    inst = static_cast<u32>(insertBits(inst, 0, 7, v));
+}
+
+void
+RoccCommand::setRd(u32 v)
+{
+    inst = static_cast<u32>(insertBits(inst, 7, 5, v));
+}
+
+void
+RoccCommand::setXd(bool v)
+{
+    inst = static_cast<u32>(insertBits(inst, 12, 1, v ? 1 : 0));
+}
+
+void
+RoccCommand::setSystemId(u32 v)
+{
+    inst = static_cast<u32>(insertBits(inst, 28, 4, v));
+}
+
+void
+RoccCommand::setCommandId(u32 v)
+{
+    inst = static_cast<u32>(insertBits(inst, 25, 3, v));
+}
+
+void
+RoccCommand::setCoreId(u32 v)
+{
+    inst = static_cast<u32>(insertBits(inst, 15, 5, v & 0x1F));
+    inst = static_cast<u32>(insertBits(inst, 20, 5, (v >> 5) & 0x1F));
+}
+
+} // namespace beethoven

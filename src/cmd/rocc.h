@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RoCC instruction format (Section II-A).
+ *
+ * "The commands are communicated using the Rocket Custom Co-processor
+ * (RoCC) instruction format — an extension to the RISC-V ISA for
+ * accelerators developed by the RocketChip project. Instructions
+ * contain routing information specifying its intended Core and System."
+ *
+ * One RoCC command beat is 160 bits: a 32-bit instruction word plus two
+ * 64-bit source registers. Field packing of the instruction word
+ * follows the RISC-V R-format used by RoCC:
+ *
+ *   [6:0]   opcode   (custom-0 = 0x0B)
+ *   [11:7]  rd       (response routing token)
+ *   [12]    xd       (1 = a response is expected)
+ *   [13]    xs1      (rs1 payload valid)
+ *   [14]    xs2      (rs2 payload valid)
+ *   [19:15] rs1      (low 5 bits of the target core index)
+ *   [24:20] rs2      (high 5 bits of the target core index)
+ *   [31:25] funct7   (top 4 bits: system ID, low 3 bits: command ID)
+ *
+ * Beethoven stamps the System/Core routing into funct7/rs1/rs2 so the
+ * fabric can route beats without understanding custom payloads.
+ */
+
+#ifndef BEETHOVEN_CMD_ROCC_H
+#define BEETHOVEN_CMD_ROCC_H
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/** One 160-bit RoCC command beat. */
+struct RoccCommand
+{
+    u32 inst = 0;
+    u64 rs1 = 0;
+    u64 rs2 = 0;
+
+    static constexpr u32 customOpcode = 0x0B;
+    static constexpr unsigned payloadBitsPerBeat = 128;
+    static constexpr unsigned maxSystems = 16;  ///< 4-bit system ID
+    static constexpr unsigned maxCommands = 8;  ///< 3-bit command ID
+    static constexpr unsigned maxCores = 1024;  ///< 10-bit core index
+
+    u32 opcode() const;
+    u32 rd() const;
+    bool xd() const;
+    u32 systemId() const;
+    u32 commandId() const;
+    u32 coreId() const;
+
+    void setOpcode(u32 v);
+    void setRd(u32 v);
+    void setXd(bool v);
+    void setSystemId(u32 v);
+    void setCommandId(u32 v);
+    void setCoreId(u32 v);
+};
+
+/** A response beat traveling back to the MMIO front-end. */
+struct RoccResponse
+{
+    u32 systemId = 0;
+    u32 coreId = 0;
+    u32 rd = 0;
+    u64 data = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_CMD_ROCC_H

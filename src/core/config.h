@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Accelerator configuration (Fig. 3a).
+ *
+ * "Configurations allow the developer to declare memory interfaces for
+ * a Core, change the number of Cores in a System, or add new Systems
+ * to Beethoven without modifying the functional description of their
+ * design."
+ *
+ * An AcceleratorConfig lists one or more Systems; each System names a
+ * core constructor, a core count, its memory channels (Readers /
+ * Writers / Scratchpads / intra-core ports) and its command formats.
+ * Elaboration (core/soc.h) turns a config plus a Platform into a full
+ * simulated SoC.
+ */
+
+#ifndef BEETHOVEN_CORE_CONFIG_H
+#define BEETHOVEN_CORE_CONFIG_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmd/command_spec.h"
+#include "floorplan/resources.h"
+#include "mem/reader.h"
+#include "mem/scratchpad.h"
+#include "mem/writer.h"
+
+namespace beethoven
+{
+
+class AcceleratorCore;
+struct CoreContext;
+
+/** ReadChannelConfig (Appendix A). Zero-valued knobs use platform
+ *  defaults chosen by the platform developer (Section II-B). */
+struct ReadChannelConfig
+{
+    std::string name;
+    unsigned dataBytes = 4;
+    unsigned nChannels = 1;
+    unsigned burstBeats = 0;  ///< 0 = platform default
+    unsigned maxInflight = 0; ///< 0 = platform default
+    bool useTlp = true;
+};
+
+/** WriteChannelConfig (Appendix A). */
+struct WriteChannelConfig
+{
+    std::string name;
+    unsigned dataBytes = 4;
+    unsigned nChannels = 1;
+    unsigned burstBeats = 0;
+    unsigned maxInflight = 0;
+    bool useTlp = true;
+};
+
+/** ScratchpadConfig (Appendix A). */
+struct ScratchpadConfig
+{
+    std::string name;
+    unsigned dataWidthBits = 32;
+    unsigned nDatas = 1024;
+    unsigned nPorts = 1;
+    unsigned latency = 1;
+    bool supportsInit = true;
+};
+
+/** How intra-core writes fan out across the target system's cores. */
+enum class CommunicationDegree {
+    PointToPoint, ///< source core i writes target core i's memory
+    Broadcast,    ///< every source write lands in all target cores
+};
+
+/** IntraCoreMemoryPortInConfig (Appendix A): a scratchpad writable
+ *  from other accelerator cores on chip. */
+struct IntraCoreMemoryPortInConfig
+{
+    std::string name;
+    unsigned nChannels = 1;
+    unsigned dataWidthBits = 32;
+    unsigned nDatas = 1024;
+    CommunicationDegree commDeg = CommunicationDegree::PointToPoint;
+    bool readOnly = false; ///< local core may not write it
+    unsigned latency = 2;
+};
+
+/** IntraCoreMemoryPortOutConfig (Appendix A). */
+struct IntraCoreMemoryPortOutConfig
+{
+    std::string name;
+    std::string toSystem;
+    std::string toMemoryPort;
+    unsigned nChannels = 1;
+};
+
+/**
+ * Appendix A's manually-managed on-chip memory: "Declares an on-chip
+ * memory that is manually-managed by the programmer. Provides
+ * SRAM-like interfaces." Maps the Memory(...) signature onto a
+ * Scratchpad with no init path; read and write traffic shares the
+ * request ports (write enables are implied by SpadRequest::write).
+ */
+inline ScratchpadConfig
+Memory(std::string name, unsigned latency, unsigned data_width,
+       unsigned n_rows, unsigned n_read_ports,
+       unsigned n_write_ports = 0, unsigned n_read_write_ports = 0)
+{
+    ScratchpadConfig cfg;
+    cfg.name = std::move(name);
+    cfg.dataWidthBits = data_width;
+    cfg.nDatas = n_rows;
+    cfg.nPorts = std::max(1u, n_read_ports + n_write_ports +
+                                  n_read_write_ports);
+    cfg.latency = latency;
+    cfg.supportsInit = false;
+    return cfg;
+}
+
+/** Factory invoked once per core instance during elaboration. */
+using CoreConstructor =
+    std::function<std::unique_ptr<AcceleratorCore>(const CoreContext &)>;
+
+/**
+ * One Beethoven System: nCores identical cores sharing a function
+ * (Fig. 1). Multiple systems compose a heterogeneous accelerator.
+ */
+struct AcceleratorSystemConfig
+{
+    std::string name;
+    unsigned nCores = 1;
+    CoreConstructor moduleConstructor;
+
+    std::vector<ReadChannelConfig> readChannels;
+    std::vector<WriteChannelConfig> writeChannels;
+    std::vector<ScratchpadConfig> scratchpads;
+    std::vector<IntraCoreMemoryPortInConfig> intraMemoryIns;
+    std::vector<IntraCoreMemoryPortOutConfig> intraMemoryOuts;
+
+    /** Command formats (BeethovenIO declarations), indexed by
+     *  command ID in declaration order. */
+    std::vector<CommandSpec> commands;
+
+    /** Resource estimate of the user's kernel datapath, per core
+     *  (Beethoven-generated parts are estimated automatically). */
+    ResourceVec kernelResources;
+};
+
+/** The whole accelerator (Fig. 3a's AcceleratorConfig). */
+struct AcceleratorConfig
+{
+    std::string name = "BeethovenAccelerator";
+    std::vector<AcceleratorSystemConfig> systems;
+
+    AcceleratorConfig() = default;
+
+    /** Convenience single-system constructor matching Fig. 3a. */
+    explicit AcceleratorConfig(AcceleratorSystemConfig system)
+    {
+        name = system.name;
+        systems.push_back(std::move(system));
+    }
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_CORE_CONFIG_H

@@ -1,0 +1,466 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+DramController::DramController(Simulator &sim, std::string name,
+                               const Config &cfg, FunctionalMemory &mem)
+    : Module(sim, std::move(name)),
+      _cfg(cfg),
+      _mem(mem),
+      _arIn(sim, cfg.portDepth),
+      _wIn(sim, cfg.portDepth),
+      _rOut(sim, cfg.portDepth),
+      _bOut(sim, cfg.portDepth),
+      _banks(cfg.geometry.numBanks())
+{
+    StatGroup &g = sim.stats().group(Module::name());
+    _statRowHits = &g.scalar("rowHits");
+    _statRowMisses = &g.scalar("rowMisses");
+    _statColReads = &g.scalar("colReads");
+    _statColWrites = &g.scalar("colWrites");
+    _statTurnarounds = &g.scalar("turnarounds");
+    _statRefreshes = &g.scalar("refreshes");
+    _nextRefreshAt = cfg.timing.tREFI;
+}
+
+void
+DramController::tick()
+{
+    acceptRequests();
+    // All-bank refresh: every tREFI the banks precharge and the device
+    // is unavailable for tRFC. Requests keep queueing meanwhile.
+    const Cycle now = sim().cycle();
+    if (now >= _nextRefreshAt) {
+        for (BankState &bank : _banks) {
+            bank.open = false;
+            bank.actReadyAt = std::max(bank.actReadyAt,
+                                       now + _cfg.timing.tRFC);
+        }
+        _refreshUntil = now + _cfg.timing.tRFC;
+        _nextRefreshAt = now + _cfg.timing.tREFI;
+        ++*_statRefreshes;
+    }
+    if (now < _refreshUntil) {
+        sendReadData(); // buffered data may still drain
+        sendWriteResponses();
+        return;
+    }
+    const auto cands = gatherCandidates();
+    scheduleColumn(cands);
+    scheduleRowCommands(cands);
+    sendReadData();
+    sendWriteResponses();
+}
+
+void
+DramController::acceptRequests()
+{
+    const Cycle now = sim().cycle();
+
+    if (_arIn.canPop() && _reads.size() < _cfg.maxOutstandingReads) {
+        ReadRequest req = _arIn.pop();
+        beethoven_assert(req.beats >= 1 &&
+                             req.beats <= _cfg.axi.maxBurstBeats,
+                         "illegal read burst length %u", req.beats);
+        ReadTxn txn;
+        txn.seq = _seqCounter++;
+        txn.tag = req.tag;
+        txn.id = req.id;
+        txn.addr = req.addr;
+        txn.beats = req.beats;
+        txn.issued.assign(req.beats, false);
+        txn.beatReadyAt.assign(req.beats, 0);
+        txn.beatData.resize(req.beats);
+        _readOrder[req.id].push_back(req.tag);
+        _reads.emplace(req.tag, std::move(txn));
+        _timeline.record({now, AxiChannel::AR, req.id, req.tag, req.addr,
+                          req.beats, false});
+    }
+
+    if (_wIn.canPop()) {
+        const WriteFlit &flit = _wIn.front();
+        if (flit.hasHeader) {
+            if (_writes.size() >= _cfg.maxOutstandingWrites)
+                return; // stall the W channel until a slot frees
+            WriteFlit f = _wIn.pop();
+            WriteTxn txn;
+            txn.seq = _seqCounter++;
+            txn.tag = f.header.tag;
+            txn.id = f.header.id;
+            txn.addr = f.header.addr;
+            txn.beats = f.header.beats;
+            txn.issued.assign(f.header.beats, false);
+            _timeline.record({now, AxiChannel::AW, txn.id, txn.tag,
+                              txn.addr, txn.beats, false});
+            // The header flit carries the first data beat.
+            _timeline.record({now, AxiChannel::W, txn.id, txn.tag, 0, 0,
+                              f.beat.last});
+            txn.data.push_back(std::move(f.beat));
+            txn.beatsReceived = 1;
+            const u64 tag = txn.tag;
+            const bool complete = txn.data.back().last;
+            beethoven_assert(!complete || txn.beats == 1,
+                             "write burst ended after 1/%u beats",
+                             txn.beats);
+            _writeOrder[txn.id].push_back(tag);
+            _writes.emplace(tag, std::move(txn));
+            _fillingWrite = tag;
+            _hasFilling = !complete;
+        } else {
+            beethoven_assert(_hasFilling,
+                             "W data beat with no open write burst");
+            WriteFlit f = _wIn.pop();
+            WriteTxn &txn = _writes.at(_fillingWrite);
+            _timeline.record({now, AxiChannel::W, txn.id, txn.tag, 0, 0,
+                              f.beat.last});
+            const bool last = f.beat.last;
+            txn.data.push_back(std::move(f.beat));
+            ++txn.beatsReceived;
+            if (last) {
+                beethoven_assert(txn.beatsReceived == txn.beats,
+                                 "write burst ended after %u/%u beats",
+                                 txn.beatsReceived, txn.beats);
+                _hasFilling = false;
+            }
+        }
+    }
+}
+
+std::vector<DramController::Candidate>
+DramController::gatherCandidates() const
+{
+    std::vector<Candidate> cands;
+    // AXI same-ID ordering: only the oldest transaction on each ID may
+    // occupy the scheduler. This is the serialization that penalizes
+    // single-ID streams (Fig. 5's HLS kernel). Within that head
+    // transaction, up to schedulerWindow unissued beats are visible at
+    // once (the command-queue lookahead of a real controller), which
+    // lets the scheduler batch row activations and bus directions.
+    const Cycle now = sim().cycle();
+    for (const auto &[id, q] : _readOrder) {
+        if (q.empty())
+            continue;
+        auto gate = _readIdReadyAt.find(id);
+        if (gate != _readIdReadyAt.end() && now < gate->second)
+            continue; // reorder slot for this ID is still recycling
+        const ReadTxn &txn = _reads.at(q.front());
+        unsigned exposed = 0;
+        for (u32 b = txn.firstUnissued;
+             b < txn.beats && exposed < _cfg.schedulerWindow; ++b) {
+            if (txn.issued[b])
+                continue;
+            Candidate c;
+            c.isWrite = false;
+            c.txnKey = txn.tag;
+            c.seq = txn.seq;
+            c.beatIdx = b;
+            c.beatAddr =
+                txn.addr + static_cast<Addr>(b) * _cfg.axi.dataBytes;
+            c.coord = mapAddress(_cfg.geometry, c.beatAddr);
+            cands.push_back(c);
+            ++exposed;
+        }
+    }
+    for (const auto &[id, q] : _writeOrder) {
+        if (q.empty())
+            continue;
+        auto gate = _writeIdReadyAt.find(id);
+        if (gate != _writeIdReadyAt.end() && now < gate->second)
+            continue;
+        const WriteTxn &txn = _writes.at(q.front());
+        unsigned exposed = 0;
+        for (u32 b = txn.firstUnissued;
+             b < txn.beatsReceived && exposed < _cfg.schedulerWindow;
+             ++b) {
+            if (txn.issued[b])
+                continue;
+            Candidate c;
+            c.isWrite = true;
+            c.txnKey = txn.tag;
+            c.seq = txn.seq;
+            c.beatIdx = b;
+            c.beatAddr =
+                txn.addr + static_cast<Addr>(b) * _cfg.axi.dataBytes;
+            c.coord = mapAddress(_cfg.geometry, c.beatAddr);
+            cands.push_back(c);
+            ++exposed;
+        }
+    }
+    return cands;
+}
+
+void
+DramController::scheduleColumn(const std::vector<Candidate> &cands)
+{
+    const Cycle now = sim().cycle();
+    if (_anyColIssued && now <= _lastColAt)
+        return; // data bus already used this cycle
+
+    // Write-drain mode switching (watermark policy): service reads
+    // until enough write beats have buffered up (or no reads remain),
+    // then drain writes as a batch. This amortizes bus turnarounds the
+    // way real DDR controllers do.
+    bool reads_exist = false;
+    bool writes_exist = false;
+    for (const Candidate &c : cands) {
+        (c.isWrite ? writes_exist : reads_exist) = true;
+    }
+    u64 pending_write_beats = 0;
+    for (const auto &[tag, txn] : _writes)
+        pending_write_beats += txn.beatsReceived - txn.beatsIssued;
+    if (_writeDrainMode) {
+        if (!writes_exist)
+            _writeDrainMode = false;
+    } else {
+        if (pending_write_beats >= _cfg.writeDrainHighWatermark ||
+            (!reads_exist && writes_exist)) {
+            _writeDrainMode = true;
+        }
+    }
+
+    auto pick = [&](bool want_write) -> const Candidate * {
+        const Candidate *best = nullptr;
+        for (const Candidate &c : cands) {
+            if (c.isWrite != want_write)
+                continue;
+            const BankState &bank = _banks[c.coord.bank];
+            if (!bank.open || bank.row != c.coord.row ||
+                now < bank.colReadyAt) {
+                continue; // not a ready row hit
+            }
+            // Bus turnaround: switching direction costs tSwitch idle
+            // cycles.
+            if (_anyColIssued && c.isWrite != _lastColWasWrite &&
+                now < _lastColAt + _cfg.timing.tSwitch) {
+                continue;
+            }
+            // FR-FCFS among ready row hits: oldest first.
+            if (best == nullptr || c.seq < best->seq)
+                best = &c;
+        }
+        return best;
+    };
+
+    // Serve the drain direction; if it has nothing ready this cycle,
+    // fall back to the other direction rather than idling the data
+    // bus (work-conserving, as real controllers are).
+    const Candidate *best = pick(_writeDrainMode);
+    if (best == nullptr)
+        best = pick(!_writeDrainMode);
+    if (best == nullptr)
+        return;
+    const Candidate chosen = *best;
+
+    BankState &bank = _banks[chosen.coord.bank];
+    bank.colReadyAt = now + 1;
+    bank.preReadyAt = std::max(bank.preReadyAt, now + 2);
+    if (_anyColIssued && chosen.isWrite != _lastColWasWrite)
+        ++*_statTurnarounds;
+    _lastColAt = now;
+    _lastColWasWrite = chosen.isWrite;
+    _anyColIssued = true;
+    ++*_statRowHits;
+    ++_beatsServed;
+
+    if (chosen.isWrite) {
+        WriteTxn &txn = _writes.at(chosen.txnKey);
+        const WriteBeat &beat = txn.data[chosen.beatIdx];
+        _mem.writeMasked(chosen.beatAddr, beat.data, beat.strb);
+        txn.issued[chosen.beatIdx] = true;
+        ++txn.beatsIssued;
+        while (txn.firstUnissued < txn.beats &&
+               txn.issued[txn.firstUnissued]) {
+            ++txn.firstUnissued;
+        }
+        ++*_statColWrites;
+    } else {
+        ReadTxn &txn = _reads.at(chosen.txnKey);
+        txn.beatReadyAt[chosen.beatIdx] = now + _cfg.timing.tCAS;
+        auto &data = txn.beatData[chosen.beatIdx];
+        data.resize(_cfg.axi.dataBytes);
+        _mem.read(chosen.beatAddr, data.size(), data.data());
+        txn.issued[chosen.beatIdx] = true;
+        ++txn.beatsIssued;
+        while (txn.firstUnissued < txn.beats &&
+               txn.issued[txn.firstUnissued]) {
+            ++txn.firstUnissued;
+        }
+        ++*_statColReads;
+    }
+}
+
+void
+DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
+{
+    const Cycle now = sim().cycle();
+    // For each bank, only the oldest waiting candidate may steer row
+    // state; this prevents younger requests from closing a row an older
+    // request is about to use.
+    std::map<unsigned, const Candidate *> oldest_per_bank;
+    for (const Candidate &c : cands) {
+        auto [it, inserted] = oldest_per_bank.emplace(c.coord.bank, &c);
+        if (inserted)
+            continue;
+        // Prefer candidates in the current drain direction, then age.
+        const bool c_on = c.isWrite == _writeDrainMode;
+        const bool cur_on = it->second->isWrite == _writeDrainMode;
+        if ((c_on && !cur_on) || (c_on == cur_on && c.seq < it->second->seq))
+            it->second = &c;
+    }
+
+    // One row command (ACT or PRE) per cycle: prepare banks for the
+    // current drain direction first, oldest request first.
+    std::vector<const Candidate *> ordered;
+    for (auto &[bankIdx, c] : oldest_per_bank)
+        ordered.push_back(c);
+    const bool drain_writes = _writeDrainMode;
+    std::sort(ordered.begin(), ordered.end(),
+              [drain_writes](const Candidate *a, const Candidate *b) {
+                  const bool a_on = a->isWrite == drain_writes;
+                  const bool b_on = b->isWrite == drain_writes;
+                  if (a_on != b_on)
+                      return a_on;
+                  return a->seq < b->seq;
+              });
+
+    // Banks that still have a pending row-hit candidate *in the active
+    // drain direction* should not be precharged out from under it.
+    // (Off-direction hits cannot issue until the mode flips, so they
+    // must not be allowed to pin rows — that would deadlock against
+    // the drain policy.)
+    std::map<unsigned, bool> bank_has_hit;
+    for (const Candidate &c : cands) {
+        if (c.isWrite != _writeDrainMode)
+            continue;
+        const BankState &bank = _banks[c.coord.bank];
+        if (bank.open && bank.row == c.coord.row)
+            bank_has_hit[c.coord.bank] = true;
+    }
+
+    for (const Candidate *c : ordered) {
+        BankState &bank = _banks[c->coord.bank];
+        if (bank.open && bank.row == c->coord.row)
+            continue; // already a row hit; nothing to do
+        if (bank.open) {
+            if (bank_has_hit.count(c->coord.bank))
+                continue; // let the open row drain first
+            if (now >= bank.preReadyAt) {
+                bank.open = false;
+                bank.actReadyAt = std::max(bank.actReadyAt,
+                                           now + _cfg.timing.tRP);
+                ++*_statRowMisses;
+                return;
+            }
+            continue;
+        }
+        // Activation constraints: per-bank tRP done, global tRRD, tFAW.
+        if (now < bank.actReadyAt || now < _nextActAt)
+            continue;
+        while (!_recentActs.empty() &&
+               _recentActs.front() + _cfg.timing.tFAW <= now) {
+            _recentActs.pop_front();
+        }
+        if (_recentActs.size() >= 4)
+            continue;
+        bank.open = true;
+        bank.row = c->coord.row;
+        bank.colReadyAt = now + _cfg.timing.tRCD;
+        bank.preReadyAt = now + _cfg.timing.tRAS;
+        _nextActAt = now + _cfg.timing.tRRD;
+        _recentActs.push_back(now);
+        return;
+    }
+}
+
+void
+DramController::sendReadData()
+{
+    if (!_rOut.canPush())
+        return;
+    const Cycle now = sim().cycle();
+    // Round-robin across IDs; within an ID only the head transaction's
+    // in-order next beat may be sent (AXI burst + same-ID ordering).
+    if (_readOrder.empty())
+        return;
+    auto start = _readOrder.lower_bound(_rrReadId);
+    if (start == _readOrder.end())
+        start = _readOrder.begin();
+    auto it = start;
+    do {
+        auto &q = it->second;
+        if (!q.empty()) {
+            ReadTxn &txn = _reads.at(q.front());
+            if (txn.beatsSent < txn.beats &&
+                txn.beatReadyAt[txn.beatsSent] != 0 &&
+                now >= txn.beatReadyAt[txn.beatsSent]) {
+                ReadBeat beat;
+                beat.id = txn.id;
+                beat.tag = txn.tag;
+                beat.last = txn.beatsSent + 1 == txn.beats;
+                beat.data = std::move(txn.beatData[txn.beatsSent]);
+                _timeline.record({now, AxiChannel::R, beat.id, beat.tag,
+                                  0, 0, beat.last});
+                ++txn.beatsSent;
+                const bool done = beat.last;
+                _rOut.push(std::move(beat));
+                _rrReadId = it->first + 1;
+                if (done) {
+                    q.pop_front();
+                    _reads.erase(txn.tag);
+                    // A successor already queued behind the head was
+                    // held back by the same-ID ordering dependence and
+                    // pays the reorder-slot recycle; a fresh request
+                    // arriving later starts with a clean slot.
+                    if (!q.empty()) {
+                        _readIdReadyAt[it->first] =
+                            now + _cfg.sameIdRecycleCycles;
+                    } else {
+                        _readOrder.erase(it);
+                    }
+                }
+                return;
+            }
+        }
+        ++it;
+        if (it == _readOrder.end())
+            it = _readOrder.begin();
+    } while (it != start);
+}
+
+void
+DramController::sendWriteResponses()
+{
+    if (!_bOut.canPush())
+        return;
+    const Cycle now = sim().cycle();
+    for (auto it = _writeOrder.begin(); it != _writeOrder.end(); ++it) {
+        auto &q = it->second;
+        if (q.empty())
+            continue;
+        WriteTxn &txn = _writes.at(q.front());
+        if (txn.beatsReceived == txn.beats &&
+            txn.beatsIssued == txn.beats) {
+            WriteResponse resp;
+            resp.id = txn.id;
+            resp.tag = txn.tag;
+            _timeline.record({now, AxiChannel::B, resp.id, resp.tag, 0, 0,
+                              false});
+            _bOut.push(resp);
+            q.pop_front();
+            _writes.erase(txn.tag);
+            if (!q.empty())
+                _writeIdReadyAt[it->first] =
+                    now + _cfg.sameIdRecycleCycles;
+            else
+                _writeOrder.erase(it);
+            return;
+        }
+    }
+}
+
+} // namespace beethoven

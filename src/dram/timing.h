@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DRAM device timing parameters, expressed in memory-controller clock
+ * cycles (the paper's platforms run the DDR controller at 250 MHz).
+ *
+ * The defaults approximate a single-rank DDR4-2400 channel behind a
+ * 64-byte-per-beat AXI port: the data bus moves one 64 B column's worth
+ * of data per controller cycle at peak (16 GB/s), and bank/row timing
+ * is scaled from the DDR4 datasheet values at a 4 ns controller cycle.
+ */
+
+#ifndef BEETHOVEN_DRAM_TIMING_H
+#define BEETHOVEN_DRAM_TIMING_H
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+struct DramTiming
+{
+    unsigned tRCD = 4;    ///< ACT -> column command
+    unsigned tRP = 4;     ///< PRE -> ACT
+    unsigned tRAS = 8;    ///< ACT -> PRE (minimum row-open time)
+    unsigned tCAS = 4;    ///< column read -> first data
+    unsigned tRRD = 1;    ///< ACT -> ACT, different banks
+    unsigned tFAW = 6;    ///< window for at most four ACTs
+    unsigned tSwitch = 3; ///< data-bus read<->write turnaround penalty
+    unsigned tREFI = 1950; ///< all-bank refresh interval (7.8 us)
+    unsigned tRFC = 88;    ///< refresh cycle time (~350 ns)
+
+    /** Construct the default DDR4-2400-at-250MHz preset. */
+    static DramTiming ddr4_2400() { return DramTiming{}; }
+
+    /** A slow LPDDR-ish preset for the embedded (Kria) platform. */
+    static DramTiming
+    lpddr4_embedded()
+    {
+        DramTiming t;
+        t.tRCD = 6;
+        t.tRP = 6;
+        t.tRAS = 12;
+        t.tCAS = 6;
+        t.tRRD = 2;
+        t.tFAW = 10;
+        t.tSwitch = 4;
+        return t;
+    }
+};
+
+/** DRAM channel geometry (address interleaving description). */
+struct DramGeometry
+{
+    unsigned nBankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rowBytesPerBank = 8192; ///< bytes of one open row, per bank
+    unsigned interleaveBytes = 64;   ///< consecutive-beat bank rotation
+
+    unsigned numBanks() const { return nBankGroups * banksPerGroup; }
+
+    /** Column capacity of a row in interleave units. */
+    unsigned
+    columnsPerRow() const
+    {
+        return rowBytesPerBank / interleaveBytes;
+    }
+};
+
+/** Decoded DRAM coordinates of one bus beat. */
+struct DramCoord
+{
+    unsigned bank = 0; ///< global bank index
+    u64 row = 0;
+    unsigned column = 0;
+};
+
+/**
+ * Map a byte address to DRAM coordinates.
+ *
+ * Consecutive bus beats rotate across all banks (bank bits directly
+ * above the beat offset) so that streaming accesses exploit bank-level
+ * parallelism; row bits sit at the top so each bank's open row covers a
+ * large contiguous span.
+ */
+inline DramCoord
+mapAddress(const DramGeometry &g, Addr addr)
+{
+    const u64 beat = addr / g.interleaveBytes;
+    DramCoord c;
+    c.bank = static_cast<unsigned>(beat % g.numBanks());
+    const u64 per_bank = beat / g.numBanks();
+    c.column = static_cast<unsigned>(per_bank % g.columnsPerRow());
+    c.row = per_bank / g.columnsPerRow();
+    return c;
+}
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_DRAM_TIMING_H

@@ -1,0 +1,221 @@
+#include "floorplan/floorplan.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+Floorplanner::Floorplanner(std::vector<SlrDescriptor> slrs,
+                           double memory_derate)
+    : _slrs(std::move(slrs)),
+      _memoryDerate(memory_derate),
+      _used(_slrs.size())
+{
+    beethoven_assert(!_slrs.empty(), "floorplanner with no SLRs");
+}
+
+namespace
+{
+
+/** Fractional utilization of the dominant resource class. */
+double
+dominantUtilization(const ResourceVec &used, const ResourceVec &avail)
+{
+    double worst = 0.0;
+    auto consider = [&](double u, double cap) {
+        if (cap > 0)
+            worst = std::max(worst, u / cap);
+        else if (u > 0)
+            worst = 2.0; // demanded a resource this die lacks entirely
+    };
+    consider(used.clb, avail.clb);
+    consider(used.lut, avail.lut);
+    consider(used.ff, avail.ff);
+    consider(used.bram, avail.bram);
+    consider(used.uram, avail.uram);
+    return worst;
+}
+
+} // namespace
+
+unsigned
+Floorplanner::placeCore(const std::string &name, const ResourceVec &est)
+{
+    // Affinity-aware greedy placement: choose the SLR whose dominant
+    // utilization after placing the core is lowest. Because the shell
+    // pre-charges SLR0/1, cores naturally gravitate to emptier dies.
+    int best = -1;
+    double best_util = 0.0;
+    for (unsigned s = 0; s < _slrs.size(); ++s) {
+        const ResourceVec avail = _slrs[s].available();
+        const ResourceVec after = _used[s] + est;
+        if (!after.fitsWithin(avail))
+            continue;
+        const double util = dominantUtilization(after, avail);
+        if (best < 0 || util < best_util) {
+            best = static_cast<int>(s);
+            best_util = util;
+        }
+    }
+    if (best < 0) {
+        fatal("core %s (%0.0f LUT, %0.1f BRAM) does not fit on any SLR",
+              name.c_str(), est.lut, est.bram);
+    }
+    _used[best] += est;
+    _cores.push_back({name, static_cast<unsigned>(best), est});
+    return static_cast<unsigned>(best);
+}
+
+void
+Floorplanner::charge(unsigned slr, const ResourceVec &r)
+{
+    beethoven_assert(slr < _slrs.size(), "SLR %u out of range", slr);
+    _used[slr] += r;
+}
+
+double
+Floorplanner::utilizationAfter(unsigned slr, const ResourceVec &extra,
+                               MemoryCellKind kind) const
+{
+    const ResourceVec avail = _slrs[slr].available();
+    const ResourceVec after = _used[slr] + extra;
+    // The spill rule sees congestion-derated availability.
+    const double d = _memoryDerate;
+    switch (kind) {
+      case MemoryCellKind::Bram:
+        return avail.bram > 0 ? after.bram / (avail.bram * d) : 2.0;
+      case MemoryCellKind::Uram:
+        return avail.uram > 0 ? after.uram / (avail.uram * d) : 2.0;
+      case MemoryCellKind::AsicSram:
+        return avail.sramMacros > 0
+                   ? after.sramMacros / (avail.sramMacros * d)
+                   : 2.0;
+    }
+    return 2.0;
+}
+
+CompiledMemory
+Floorplanner::mapMemory(unsigned slr, const MemoryCellLibrary &lib,
+                        MemoryCellKind preferred, unsigned width_bits,
+                        unsigned depth, unsigned n_read_ports)
+{
+    beethoven_assert(slr < _slrs.size(), "SLR %u out of range", slr);
+
+    if (preferred == MemoryCellKind::AsicSram) {
+        CompiledMemory m = compileMemory(lib, preferred, width_bits,
+                                         depth, n_read_ports);
+        charge(slr, m.resources);
+        return m;
+    }
+
+    const MemoryCellKind alternate = preferred == MemoryCellKind::Bram
+                                         ? MemoryCellKind::Uram
+                                         : MemoryCellKind::Bram;
+    const CompiledMemory first =
+        compileMemory(lib, preferred, width_bits, depth, n_read_ports);
+    const double first_util =
+        utilizationAfter(slr, first.resources, preferred);
+    if (first_util <= spillThreshold) {
+        charge(slr, first.resources);
+        return first;
+    }
+
+    // Section II-B: "mapping to other cell types when utilizing more
+    // than 80% of the available resources on a given SLR".
+    const CompiledMemory second =
+        compileMemory(lib, alternate, width_bits, depth, n_read_ports);
+    const double second_util =
+        utilizationAfter(slr, second.resources, alternate);
+    const CompiledMemory &pick =
+        second_util <= first_util ? second : first;
+    charge(slr, pick.resources);
+    return pick;
+}
+
+double
+Floorplanner::bramUtilization(unsigned slr) const
+{
+    const double cap = _slrs[slr].available().bram;
+    return cap > 0 ? _used[slr].bram / cap : 0.0;
+}
+
+double
+Floorplanner::uramUtilization(unsigned slr) const
+{
+    const double cap = _slrs[slr].available().uram;
+    return cap > 0 ? _used[slr].uram / cap : 0.0;
+}
+
+double
+Floorplanner::lutUtilization(unsigned slr) const
+{
+    const double cap = _slrs[slr].available().lut;
+    return cap > 0 ? _used[slr].lut / cap : 0.0;
+}
+
+double
+Floorplanner::clbUtilization(unsigned slr) const
+{
+    const double cap = _slrs[slr].available().clb;
+    return cap > 0 ? _used[slr].clb / cap : 0.0;
+}
+
+const ResourceVec &
+Floorplanner::used(unsigned slr) const
+{
+    beethoven_assert(slr < _used.size(), "SLR %u out of range", slr);
+    return _used[slr];
+}
+
+const SlrDescriptor &
+Floorplanner::slr(unsigned idx) const
+{
+    beethoven_assert(idx < _slrs.size(), "SLR %u out of range", idx);
+    return _slrs[idx];
+}
+
+ResourceVec
+Floorplanner::totalUsed() const
+{
+    ResourceVec total;
+    for (const auto &u : _used)
+        total += u;
+    return total;
+}
+
+ResourceVec
+Floorplanner::totalCapacity() const
+{
+    ResourceVec total;
+    for (const auto &s : _slrs)
+        total += s.capacity;
+    return total;
+}
+
+ResourceVec
+Floorplanner::totalShell() const
+{
+    ResourceVec total;
+    for (const auto &s : _slrs)
+        total += s.shellFootprint;
+    return total;
+}
+
+void
+Floorplanner::emitConstraints(std::ostream &os) const
+{
+    os << "# Beethoven-generated placement constraints\n";
+    for (unsigned s = 0; s < _slrs.size(); ++s) {
+        os << "create_pblock pblock_" << _slrs[s].name << "\n";
+        os << "resize_pblock pblock_" << _slrs[s].name
+           << " -add {SLR" << s << "}\n";
+    }
+    for (const auto &core : _cores) {
+        os << "add_cells_to_pblock pblock_" << _slrs[core.slr].name
+           << " [get_cells " << core.name << "]\n";
+    }
+}
+
+} // namespace beethoven

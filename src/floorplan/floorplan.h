@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SLR-aware floorplanning (Section II-B, "Multi-Die Designs").
+ *
+ * "Beethoven first places accelerator cores across SLRs. Then,
+ * Beethoven generates on-chip networks ... that use this placement
+ * information ... Beethoven produces constraint files that enforce the
+ * placement of all components onto the intended SLRs."
+ *
+ * The Floorplanner keeps a per-SLR resource ledger (shell footprint
+ * pre-charged), places cores onto the least-utilized die, applies the
+ * 80 %-utilization BRAM->URAM spill rule during scratchpad mapping
+ * (Section II-B, "Scratchpads and On-Chip Memory"), and emits a
+ * Vivado-style placement constraint file.
+ */
+
+#ifndef BEETHOVEN_FLOORPLAN_FLOORPLAN_H
+#define BEETHOVEN_FLOORPLAN_FLOORPLAN_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "floorplan/resources.h"
+#include "mem/memory_compiler.h"
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+class Floorplanner
+{
+  public:
+    /**
+     * @param memory_derate  fraction of memory blocks treated as
+     *        available by the spill rule (congestion derating)
+     */
+    explicit Floorplanner(std::vector<SlrDescriptor> slrs,
+                          double memory_derate = 1.0);
+
+    std::size_t numSlrs() const { return _slrs.size(); }
+
+    /**
+     * Place a named core with the given resource estimate on the SLR
+     * with the most remaining headroom.
+     * @return the chosen SLR index
+     * @throws ConfigError when no SLR can accommodate the core
+     */
+    unsigned placeCore(const std::string &name, const ResourceVec &est);
+
+    /** Charge additional resources (e.g. interconnect) to an SLR. */
+    void charge(unsigned slr, const ResourceVec &r);
+
+    /**
+     * Map an on-chip memory request onto a cell family for @p slr,
+     * applying the 80 % spill rule: prefer the platform's first-choice
+     * family, but spill to the alternative when the first choice would
+     * exceed 80 % utilization of that SLR's blocks. The chosen
+     * mapping's resources are charged to the ledger.
+     */
+    CompiledMemory mapMemory(unsigned slr, const MemoryCellLibrary &lib,
+                             MemoryCellKind preferred,
+                             unsigned width_bits, unsigned depth,
+                             unsigned n_read_ports = 1);
+
+    /** Fraction of a resource class used on an SLR (0..1+). */
+    double bramUtilization(unsigned slr) const;
+    double uramUtilization(unsigned slr) const;
+    double lutUtilization(unsigned slr) const;
+    double clbUtilization(unsigned slr) const;
+
+    const ResourceVec &used(unsigned slr) const;
+    const SlrDescriptor &slr(unsigned idx) const;
+
+    ResourceVec totalUsed() const;
+    ResourceVec totalCapacity() const;
+    ResourceVec totalShell() const;
+
+    /** Names and SLR assignments of placed cores, in placement order. */
+    struct PlacedCore
+    {
+        std::string name;
+        unsigned slr;
+        ResourceVec resources;
+    };
+    const std::vector<PlacedCore> &placedCores() const { return _cores; }
+
+    /** Emit a Vivado-style pblock constraint file for the placement. */
+    void emitConstraints(std::ostream &os) const;
+
+    /** Spill threshold of the scratchpad mapping rule. */
+    static constexpr double spillThreshold = 0.8;
+
+  private:
+    double utilizationAfter(unsigned slr, const ResourceVec &extra,
+                            MemoryCellKind kind) const;
+
+    std::vector<SlrDescriptor> _slrs;
+    double _memoryDerate;
+    std::vector<ResourceVec> _used; ///< excludes shell footprint
+    std::vector<PlacedCore> _cores;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_FLOORPLAN_FLOORPLAN_H

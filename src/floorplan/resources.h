@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FPGA/ASIC resource accounting vectors.
+ *
+ * Tracked kinds mirror the columns of the paper's Table II: CLBs,
+ * CLB LUTs, CLB registers, BRAM36 blocks, and URAM blocks. The ASIC
+ * backend reuses the same vector with `sramMacros` standing in for the
+ * memory blocks and an area figure in square micrometres.
+ */
+
+#ifndef BEETHOVEN_FLOORPLAN_RESOURCES_H
+#define BEETHOVEN_FLOORPLAN_RESOURCES_H
+
+#include <ostream>
+
+namespace beethoven
+{
+
+struct ResourceVec
+{
+    double clb = 0;
+    double lut = 0;
+    double ff = 0;
+    double bram = 0; ///< BRAM36 blocks (half-blocks appear as .5)
+    double uram = 0;
+    double sramMacros = 0; ///< ASIC backend only
+    double areaUm2 = 0;    ///< ASIC backend only
+
+    ResourceVec &
+    operator+=(const ResourceVec &o)
+    {
+        clb += o.clb;
+        lut += o.lut;
+        ff += o.ff;
+        bram += o.bram;
+        uram += o.uram;
+        sramMacros += o.sramMacros;
+        areaUm2 += o.areaUm2;
+        return *this;
+    }
+
+    friend ResourceVec
+    operator+(ResourceVec a, const ResourceVec &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend ResourceVec
+    operator*(ResourceVec a, double k)
+    {
+        a.clb *= k;
+        a.lut *= k;
+        a.ff *= k;
+        a.bram *= k;
+        a.uram *= k;
+        a.sramMacros *= k;
+        a.areaUm2 *= k;
+        return a;
+    }
+
+    /** True when every component of this fits within @p budget. */
+    bool
+    fitsWithin(const ResourceVec &budget) const
+    {
+        return clb <= budget.clb && lut <= budget.lut &&
+               ff <= budget.ff && bram <= budget.bram &&
+               uram <= budget.uram;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const ResourceVec &r)
+{
+    os << "{clb=" << r.clb << " lut=" << r.lut << " ff=" << r.ff
+       << " bram=" << r.bram << " uram=" << r.uram << "}";
+    return os;
+}
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_FLOORPLAN_RESOURCES_H

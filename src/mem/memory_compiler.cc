@@ -1,0 +1,146 @@
+#include "mem/memory_compiler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/bits.h"
+#include "base/log.h"
+
+namespace beethoven
+{
+
+const char *
+memoryCellKindName(MemoryCellKind kind)
+{
+    switch (kind) {
+      case MemoryCellKind::Bram: return "BRAM";
+      case MemoryCellKind::Uram: return "URAM";
+      case MemoryCellKind::AsicSram: return "SRAM";
+    }
+    return "?";
+}
+
+MemoryCellLibrary
+MemoryCellLibrary::ultrascalePlus()
+{
+    MemoryCellLibrary lib;
+    // BRAM36 shapes (UltraScale+ RAMB36E2 width/depth configurations).
+    // A BRAM36 can also act as two independent BRAM18s, modeled as the
+    // 0.5-block shapes.
+    const struct { unsigned w, d; double blocks; } bram_shapes[] = {
+        {72, 512, 1.0},  {36, 1024, 1.0}, {18, 2048, 1.0},
+        {9, 4096, 1.0},  {4, 8192, 1.0},  {2, 16384, 1.0},
+        {1, 32768, 1.0}, {36, 512, 0.5},  {18, 1024, 0.5},
+        {9, 2048, 0.5},
+    };
+    for (const auto &s : bram_shapes) {
+        lib.shapes.push_back({"RAMB36_" + std::to_string(s.w) + "x" +
+                                  std::to_string(s.d),
+                              MemoryCellKind::Bram, s.w, s.d, 2,
+                              s.blocks, 0.0});
+    }
+    // URAM288: fixed 72 x 4096.
+    lib.shapes.push_back(
+        {"URAM288_72x4096", MemoryCellKind::Uram, 72, 4096, 2, 1.0, 0.0});
+    return lib;
+}
+
+MemoryCellLibrary
+MemoryCellLibrary::asap7()
+{
+    MemoryCellLibrary lib;
+    // Representative compiled-SRAM macro shapes for a 7 nm predictive
+    // PDK (widths/depths follow common memory-compiler offerings).
+    const struct { unsigned w, d; double area; } shapes[] = {
+        {32, 256, 580.0},   {32, 512, 1010.0},  {64, 256, 1080.0},
+        {64, 512, 1900.0},  {128, 256, 2100.0}, {128, 512, 3700.0},
+        {64, 1024, 3500.0}, {32, 1024, 1850.0},
+    };
+    for (const auto &s : shapes) {
+        lib.shapes.push_back({"SRAM_" + std::to_string(s.w) + "x" +
+                                  std::to_string(s.d),
+                              MemoryCellKind::AsicSram, s.w, s.d, 1, 1.0,
+                              s.area});
+    }
+    return lib;
+}
+
+std::vector<MemoryCellShape>
+MemoryCellLibrary::shapesOf(MemoryCellKind kind) const
+{
+    std::vector<MemoryCellShape> out;
+    for (const auto &s : shapes) {
+        if (s.kind == kind)
+            out.push_back(s);
+    }
+    return out;
+}
+
+CompiledMemory
+compileMemory(const MemoryCellLibrary &lib, MemoryCellKind kind,
+              unsigned width_bits, unsigned depth, unsigned n_read_ports)
+{
+    if (width_bits == 0 || depth == 0)
+        fatal("memory compile request with zero width (%u) or depth (%u)",
+              width_bits, depth);
+    const auto shapes = lib.shapesOf(kind);
+    if (shapes.empty())
+        fatal("technology library has no %s cells",
+              memoryCellKindName(kind));
+
+    const u64 logical_bits = u64(width_bits) * depth;
+    bool have_best = false;
+    CompiledMemory best;
+    double best_blocks = std::numeric_limits<double>::max();
+    u64 best_waste = 0;
+
+    for (const auto &shape : shapes) {
+        const unsigned wide = static_cast<unsigned>(
+            divCeil(width_bits, shape.widthBits));
+        const unsigned deep =
+            static_cast<unsigned>(divCeil(depth, shape.depth));
+        const unsigned replicas =
+            static_cast<unsigned>(divCeil(std::max(1u, n_read_ports),
+                                          shape.maxPorts));
+        const unsigned cells = wide * deep * replicas;
+        const double blocks = cells * shape.blocks;
+        const u64 capacity =
+            u64(shape.widthBits) * shape.depth * wide * deep;
+        const u64 waste = capacity - std::min(capacity, logical_bits);
+        if (!have_best || blocks < best_blocks ||
+            (blocks == best_blocks && waste < best_waste)) {
+            have_best = true;
+            best_blocks = blocks;
+            best_waste = waste;
+            best.cell = shape;
+            best.cellsWide = wide;
+            best.cellsDeep = deep;
+            best.replicas = replicas;
+        }
+    }
+
+    ResourceVec res;
+    const double total_blocks = best_blocks;
+    switch (kind) {
+      case MemoryCellKind::Bram:
+        res.bram = total_blocks;
+        break;
+      case MemoryCellKind::Uram:
+        res.uram = total_blocks;
+        break;
+      case MemoryCellKind::AsicSram:
+        res.sramMacros = total_blocks;
+        res.areaUm2 = best.totalCells() * best.cell.areaUm2;
+        break;
+    }
+    // Banking/cascade glue: address decode + output muxing.
+    const unsigned banks = best.cellsDeep;
+    if (banks > 1) {
+        res.lut += width_bits * (banks - 1) * 0.5; // output mux
+        res.ff += width_bits * 0.25;
+    }
+    best.resources = res;
+    return best;
+}
+
+} // namespace beethoven

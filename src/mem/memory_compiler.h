@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The on-chip memory compiler.
+ *
+ * "Beethoven provides a memory compiler-like utility that cascades and
+ * banks the SRAM cells available in the technology library to produce
+ * the memory requested by the developer." (Section II-D.) The same
+ * machinery backs the FPGA path, where the cell library describes the
+ * width/depth shapes of BRAM36 and URAM blocks; elaboration chooses
+ * *which* cell family to target using the per-SLR 80 %-utilization
+ * spill rule (Section II-B, "Scratchpads and On-Chip Memory").
+ */
+
+#ifndef BEETHOVEN_MEM_MEMORY_COMPILER_H
+#define BEETHOVEN_MEM_MEMORY_COMPILER_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "floorplan/resources.h"
+
+namespace beethoven
+{
+
+/** The cell family a compiled memory maps onto. */
+enum class MemoryCellKind { Bram, Uram, AsicSram };
+
+const char *memoryCellKindName(MemoryCellKind kind);
+
+/** One configurable shape of a physical memory cell. */
+struct MemoryCellShape
+{
+    std::string name;
+    MemoryCellKind kind = MemoryCellKind::Bram;
+    unsigned widthBits = 0;
+    unsigned depth = 0;
+    unsigned maxPorts = 2;  ///< native port count of the cell
+    double blocks = 1.0;    ///< resource blocks consumed per instance
+    double areaUm2 = 0.0;   ///< ASIC only
+};
+
+/** A technology's available memory cells. */
+struct MemoryCellLibrary
+{
+    std::vector<MemoryCellShape> shapes;
+
+    /** Xilinx UltraScale+ BRAM36 + URAM shapes. */
+    static MemoryCellLibrary ultrascalePlus();
+
+    /** A representative ASAP7-style SRAM macro set. */
+    static MemoryCellLibrary asap7();
+
+    /** Shapes restricted to one cell family. */
+    std::vector<MemoryCellShape> shapesOf(MemoryCellKind kind) const;
+};
+
+/** Result of compiling one logical memory. */
+struct CompiledMemory
+{
+    MemoryCellShape cell;
+    unsigned cellsWide = 0;  ///< cascaded for width
+    unsigned cellsDeep = 0;  ///< banked for depth
+    unsigned replicas = 1;   ///< copies for extra read ports
+    ResourceVec resources;
+
+    unsigned totalCells() const { return cellsWide * cellsDeep * replicas; }
+};
+
+/**
+ * Compile a logical (widthBits x depth, nReadPorts) memory onto the
+ * best-fitting shape of the requested cell family.
+ *
+ * Selection minimizes total blocks consumed, breaking ties toward the
+ * least wasted bit capacity. Memories needing more read ports than the
+ * cell provides are replicated (a standard FPGA/ASIC technique).
+ *
+ * @throws ConfigError if the library has no shapes of @p kind.
+ */
+CompiledMemory compileMemory(const MemoryCellLibrary &lib,
+                             MemoryCellKind kind, unsigned width_bits,
+                             unsigned depth, unsigned n_read_ports = 1);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_MEM_MEMORY_COMPILER_H

@@ -1,0 +1,181 @@
+#include "mem/reader.h"
+
+#include <algorithm>
+
+#include "base/bits.h"
+#include "base/log.h"
+
+namespace beethoven
+{
+
+Reader::Reader(Simulator &sim, std::string name,
+               const ReaderParams &params, const AxiConfig &bus,
+               u32 id_base, TimedQueue<ReadRequest> *ar_out,
+               TimedQueue<ReadBeat> *r_in)
+    : Module(sim, std::move(name)),
+      _params(params),
+      _bus(bus),
+      _idBase(id_base),
+      _arOut(ar_out),
+      _rIn(r_in),
+      _cmdQ(sim, params.cmdQueueDepth),
+      _dataQ(sim, params.dataQueueDepth)
+{
+    beethoven_assert(params.dataBytes > 0, "reader port width 0");
+    beethoven_assert(params.burstBeats >= 1 &&
+                         params.burstBeats <= bus.maxBurstBeats,
+                     "reader burst length %u exceeds bus limit %u",
+                     params.burstBeats, bus.maxBurstBeats);
+    StatGroup &g = sim.stats().group(Module::name());
+    _statBytesRead = &g.scalar("bytesRead");
+    _statTxns = &g.scalar("transactions");
+}
+
+bool
+Reader::idle() const
+{
+    return !_active && _cmdQ.occupancy() == 0;
+}
+
+void
+Reader::tick()
+{
+    if (!_active)
+        startNextCommand();
+    issueRequests();
+    receiveBeats();
+    drainToCore();
+}
+
+void
+Reader::startNextCommand()
+{
+    if (!_cmdQ.canPop())
+        return;
+    const StreamCommand cmd = _cmdQ.pop();
+    if (cmd.lenBytes == 0)
+        return; // zero-length streams complete immediately
+    if (cmd.addr % _params.dataBytes != 0 ||
+        cmd.lenBytes % _params.dataBytes != 0) {
+        fatal("reader %s: stream [0x%llx, +%llu) not aligned to the "
+              "%u-byte port width",
+              name().c_str(),
+              static_cast<unsigned long long>(cmd.addr),
+              static_cast<unsigned long long>(cmd.lenBytes),
+              _params.dataBytes);
+    }
+    _active = true;
+    _reqAddr = cmd.addr;
+    _reqBytesLeft = cmd.lenBytes;
+    _drainBytesLeft = cmd.lenBytes;
+}
+
+void
+Reader::issueRequests()
+{
+    if (!_active || _reqBytesLeft == 0 || !_arOut->canPush())
+        return;
+    if (_txns.size() >= _params.maxInflight)
+        return;
+
+    // Prefetch-buffer capacity: beats held on chip across all inflight
+    // transactions. Reserved at issue, released as the core drains.
+    const std::size_t buffer_beats =
+        static_cast<std::size_t>(_params.maxInflight) *
+        _params.burstBeats;
+
+    const Addr beat_addr = (_reqAddr / _bus.dataBytes) * _bus.dataBytes;
+    const u64 offset = _reqAddr - beat_addr;
+    const u64 max_bytes =
+        u64(_params.burstBeats) * _bus.dataBytes - offset;
+    const u64 txn_bytes = std::min<u64>(_reqBytesLeft, max_bytes);
+    const u32 beats = static_cast<u32>(
+        divCeil(offset + txn_bytes, _bus.dataBytes));
+
+    if (_reservedBeats + beats > buffer_beats)
+        return;
+
+    ReadRequest req;
+    req.id = _idBase +
+             static_cast<u32>(_params.useTlp
+                                  ? _txnSeq % _params.maxInflight
+                                  : 0);
+    req.addr = beat_addr;
+    req.beats = beats;
+    req.tag = nextGlobalTag();
+    _arOut->push(req);
+
+    Txn txn;
+    txn.tag = req.tag;
+    txn.beats = beats;
+    txn.startByte = static_cast<u32>(offset);
+    txn.validBytes = txn_bytes;
+    txn.bytes.reserve(static_cast<std::size_t>(beats) * _bus.dataBytes);
+    _txns.push_back(std::move(txn));
+    _reservedBeats += beats;
+
+    _reqAddr += txn_bytes;
+    _reqBytesLeft -= txn_bytes;
+    ++_txnSeq;
+    ++*_statTxns;
+}
+
+void
+Reader::receiveBeats()
+{
+    if (!_rIn->canPop())
+        return;
+    ReadBeat beat = _rIn->pop();
+    for (auto &txn : _txns) {
+        if (txn.tag == beat.tag) {
+            txn.bytes.insert(txn.bytes.end(), beat.data.begin(),
+                             beat.data.end());
+            return;
+        }
+    }
+    panic("reader %s received beat for unknown tag %llu", name().c_str(),
+          static_cast<unsigned long long>(beat.tag));
+}
+
+void
+Reader::drainToCore()
+{
+    if (!_dataQ.canPush())
+        return;
+    // Pull bytes from the front (oldest-address) transaction into the
+    // width-converter stage until one port word is complete.
+    while (_wordStage.size() < _params.dataBytes) {
+        if (_txns.empty())
+            return;
+        Txn &txn = _txns.front();
+        const u64 avail_end =
+            std::min<u64>(txn.bytes.size() > txn.startByte
+                              ? txn.bytes.size() - txn.startByte
+                              : 0,
+                          txn.validBytes);
+        if (txn.drained >= avail_end)
+            return; // waiting on more beats for the front transaction
+        const u64 want = _params.dataBytes - _wordStage.size();
+        const u64 take = std::min<u64>(want, avail_end - txn.drained);
+        const u8 *src = txn.bytes.data() + txn.startByte + txn.drained;
+        _wordStage.insert(_wordStage.end(), src, src + take);
+        txn.drained += take;
+        if (txn.drained == txn.validBytes &&
+            txn.bytes.size() ==
+                static_cast<std::size_t>(txn.beats) * _bus.dataBytes) {
+            _reservedBeats -= txn.beats;
+            _txns.pop_front();
+        }
+    }
+
+    StreamWord word;
+    word.data = std::move(_wordStage);
+    _wordStage.clear();
+    _dataQ.push(std::move(word));
+    *_statBytesRead += _params.dataBytes;
+    _drainBytesLeft -= _params.dataBytes;
+    if (_drainBytesLeft == 0)
+        _active = false;
+}
+
+} // namespace beethoven

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reader — Beethoven's streaming read primitive (Section II-B).
+ *
+ * "Readers maximize data throughput by prefetching data and launching
+ * parallel read operations to external memory. Readers use on-chip
+ * memory to store prefetched data internally."
+ *
+ * A Reader accepts StreamCommands from its core, splits them into AXI
+ * read bursts, keeps several bursts in flight, and — when TLP is
+ * enabled — rotates the bursts across distinct AXI IDs so the memory
+ * controller may complete them out of order. Returned beats land in a
+ * per-transaction reorder buffer and are drained to the core *in
+ * address order* through a width converter sized to the configured
+ * port width.
+ */
+
+#ifndef BEETHOVEN_MEM_READER_H
+#define BEETHOVEN_MEM_READER_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "axi/axi_types.h"
+#include "mem/stream_types.h"
+#include "sim/module.h"
+#include "sim/queue.h"
+
+namespace beethoven
+{
+
+/** User-visible Reader parameters (the ReadChannelConfig knobs). */
+struct ReaderParams
+{
+    unsigned dataBytes = 4;   ///< core-facing port width
+    unsigned burstBeats = 64; ///< AXI beats per transaction
+    unsigned maxInflight = 4; ///< concurrent outstanding transactions
+    bool useTlp = true;       ///< distinct AXI IDs per transaction
+    std::size_t cmdQueueDepth = 2;
+    std::size_t dataQueueDepth = 8; ///< port-side word queue
+};
+
+class Reader : public Module
+{
+  public:
+    /**
+     * @param bus      AXI parameters of the memory fabric
+     * @param id_base  first AXI ID owned by this reader (fabric grant)
+     * @param ar_out   fabric endpoint for read requests
+     * @param r_in     fabric endpoint returning this reader's beats
+     */
+    Reader(Simulator &sim, std::string name, const ReaderParams &params,
+           const AxiConfig &bus, u32 id_base,
+           TimedQueue<ReadRequest> *ar_out, TimedQueue<ReadBeat> *r_in);
+
+    /** Core-side ports. */
+    TimedQueue<StreamCommand> &cmdPort() { return _cmdQ; }
+    TimedQueue<StreamWord> &dataPort() { return _dataQ; }
+
+    /** True when no command is active or queued. */
+    bool idle() const;
+
+    const ReaderParams &params() const { return _params; }
+
+    /** Number of AXI IDs this reader occupies. */
+    u32 numIds() const { return _params.useTlp ? _params.maxInflight : 1; }
+
+    void tick() override;
+
+  private:
+    struct Txn
+    {
+        u64 tag = 0;
+        u32 beats = 0;
+        u32 startByte = 0;  ///< first valid byte within the burst
+        u64 validBytes = 0; ///< bytes of this burst belonging to stream
+        std::vector<u8> bytes; ///< received data, in burst order
+        u64 drained = 0;       ///< valid bytes already sent to the core
+    };
+
+    void startNextCommand();
+    void issueRequests();
+    void receiveBeats();
+    void drainToCore();
+
+    ReaderParams _params;
+    AxiConfig _bus;
+    u32 _idBase;
+
+    TimedQueue<ReadRequest> *_arOut;
+    TimedQueue<ReadBeat> *_rIn;
+    TimedQueue<StreamCommand> _cmdQ;
+    TimedQueue<StreamWord> _dataQ;
+
+    bool _active = false;
+    Addr _reqAddr = 0;     ///< next stream byte to request
+    u64 _reqBytesLeft = 0; ///< stream bytes not yet requested
+    u64 _drainBytesLeft = 0;
+    u64 _txnSeq = 0;
+
+    std::deque<Txn> _txns;      ///< in issue (= address) order
+    std::size_t _reservedBeats = 0;
+    std::vector<u8> _wordStage; ///< width-converter staging bytes
+
+    StatScalar *_statBytesRead;
+    StatScalar *_statTxns;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_MEM_READER_H

@@ -1,0 +1,199 @@
+#include "mem/scratchpad.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+Scratchpad::Scratchpad(Simulator &sim, std::string name,
+                       const ScratchpadParams &params, Reader *init_reader)
+    : Module(sim, std::move(name)),
+      _params(params),
+      _initReader(init_reader),
+      _storage(static_cast<std::size_t>(params.nDatas) *
+                   params.rowBytes(),
+               0)
+{
+    beethoven_assert(params.nPorts >= 1, "scratchpad with zero ports");
+    if (params.supportsInit) {
+        beethoven_assert(init_reader != nullptr,
+                         "scratchpad %s supports init but has no reader",
+                         Module::name().c_str());
+        beethoven_assert(
+            init_reader->params().dataBytes == params.rowBytes(),
+            "init reader port width %u != scratchpad row bytes %u",
+            init_reader->params().dataBytes, params.rowBytes());
+        _initQ = std::make_unique<TimedQueue<SpadInitCommand>>(sim, 2);
+        _initDoneQ = std::make_unique<TimedQueue<StreamDone>>(sim, 2);
+    }
+    for (unsigned p = 0; p < params.nPorts; ++p) {
+        _reqPorts.push_back(std::make_unique<TimedQueue<SpadRequest>>(
+            sim, params.portQueueDepth));
+        _respPorts.push_back(std::make_unique<TimedQueue<SpadResponse>>(
+            sim, params.portQueueDepth + params.latency,
+            std::max(1u, params.latency)));
+    }
+}
+
+TimedQueue<SpadRequest> &
+Scratchpad::reqPort(unsigned idx)
+{
+    beethoven_assert(idx < _reqPorts.size(), "port %u out of range", idx);
+    return *_reqPorts[idx];
+}
+
+TimedQueue<SpadResponse> &
+Scratchpad::respPort(unsigned idx)
+{
+    beethoven_assert(idx < _respPorts.size(), "port %u out of range",
+                     idx);
+    return *_respPorts[idx];
+}
+
+TimedQueue<SpadInitCommand> &
+Scratchpad::initPort()
+{
+    beethoven_assert(_initQ != nullptr, "scratchpad %s has no init path",
+                     name().c_str());
+    return *_initQ;
+}
+
+TimedQueue<StreamDone> &
+Scratchpad::initDonePort()
+{
+    beethoven_assert(_initDoneQ != nullptr,
+                     "scratchpad %s has no init path", name().c_str());
+    return *_initDoneQ;
+}
+
+TimedQueue<SpadRequest> &
+Scratchpad::addIntraCoreWritePort()
+{
+    _intraPorts.push_back(
+        std::make_unique<TimedQueue<SpadRequest>>(sim(), 4));
+    return *_intraPorts.back();
+}
+
+std::vector<u8>
+Scratchpad::peek(u32 row) const
+{
+    beethoven_assert(row < _params.nDatas, "peek row %u out of range",
+                     row);
+    const std::size_t rb = _params.rowBytes();
+    const u8 *base = _storage.data() + std::size_t(row) * rb;
+    return std::vector<u8>(base, base + rb);
+}
+
+void
+Scratchpad::poke(u32 row, const std::vector<u8> &data)
+{
+    beethoven_assert(row < _params.nDatas, "poke row %u out of range",
+                     row);
+    const std::size_t rb = _params.rowBytes();
+    beethoven_assert(data.size() == rb,
+                     "poke data size %zu != row bytes %zu", data.size(),
+                     rb);
+    std::memcpy(_storage.data() + std::size_t(row) * rb, data.data(), rb);
+}
+
+u64
+Scratchpad::peekUint(u32 row) const
+{
+    const auto bytes = peek(row);
+    u64 v = 0;
+    for (std::size_t i = 0; i < bytes.size() && i < 8; ++i)
+        v |= u64(bytes[i]) << (8 * i);
+    return v;
+}
+
+void
+Scratchpad::pokeUint(u32 row, u64 value)
+{
+    std::vector<u8> bytes(_params.rowBytes(), 0);
+    for (std::size_t i = 0; i < bytes.size() && i < 8; ++i)
+        bytes[i] = static_cast<u8>(value >> (8 * i));
+    poke(row, bytes);
+}
+
+void
+Scratchpad::tick()
+{
+    // Serve each request/response port pair (one access per port).
+    for (unsigned p = 0; p < _params.nPorts; ++p) {
+        auto &req_q = *_reqPorts[p];
+        auto &resp_q = *_respPorts[p];
+        if (!req_q.canPop())
+            continue;
+        const SpadRequest &req = req_q.front();
+        if (req.write) {
+            SpadRequest w = req_q.pop();
+            poke(w.row, w.data);
+        } else if (resp_q.canPush()) {
+            SpadRequest r = req_q.pop();
+            SpadResponse resp;
+            resp.row = r.row;
+            resp.data = peek(r.row);
+            resp_q.push(std::move(resp));
+        }
+    }
+
+    // Intra-core write ports are write-only.
+    for (auto &port : _intraPorts) {
+        if (port->canPop()) {
+            SpadRequest w = port->pop();
+            beethoven_assert(w.write,
+                             "read request on intra-core write port");
+            poke(w.row, w.data);
+        }
+    }
+
+    serveInit();
+}
+
+void
+Scratchpad::serveInit()
+{
+    if (!_params.supportsInit)
+        return;
+
+    if (!_initActive && _initQ->canPop()) {
+        const SpadInitCommand cmd = _initQ->pop();
+        beethoven_assert(u64(cmd.rowOffset) + cmd.rows <= _params.nDatas,
+                         "init range [%u, +%u) exceeds %u rows",
+                         cmd.rowOffset, cmd.rows, _params.nDatas);
+        if (cmd.rows == 0) {
+            if (_initDoneQ->canPush())
+                _initDoneQ->push(StreamDone{0});
+            return;
+        }
+        _initActive = true;
+        _initRow = cmd.rowOffset;
+        _initRowsLeft = cmd.rows;
+        StreamCommand rc;
+        rc.addr = cmd.memAddr;
+        rc.lenBytes = u64(cmd.rows) * _params.rowBytes();
+        beethoven_assert(_initReader->cmdPort().canPush(),
+                         "init reader command queue full");
+        _initReader->cmdPort().push(rc);
+    }
+
+    if (_initActive && _initReader->dataPort().canPop()) {
+        StreamWord w = _initReader->dataPort().pop();
+        poke(_initRow, w.data);
+        ++_initRow;
+        --_initRowsLeft;
+        if (_initRowsLeft == 0) {
+            _initActive = false;
+            if (_initDoneQ->canPush())
+                _initDoneQ->push(StreamDone{0});
+            else
+                warn("scratchpad %s init-done token dropped",
+                     name().c_str());
+        }
+    }
+}
+
+} // namespace beethoven

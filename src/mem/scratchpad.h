@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Scratchpad — Beethoven-managed on-chip memory (Section II-B).
+ *
+ * "The Scratchpad abstraction is an on-chip memory of the specified
+ * size with an initialization routine that uses a Reader to fill the
+ * scratchpad with operands from memory."
+ *
+ * The scratchpad exposes request/response port pairs with configurable
+ * read latency, an init command channel that streams rows in from
+ * external memory through an internal Reader, and optional
+ * intra-core write ports that other cores' IntraCoreMemoryPortOut
+ * endpoints feed (Appendix A's IntraCoreMemoryPortIn).
+ */
+
+#ifndef BEETHOVEN_MEM_SCRATCHPAD_H
+#define BEETHOVEN_MEM_SCRATCHPAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/reader.h"
+#include "mem/stream_types.h"
+#include "sim/module.h"
+#include "sim/queue.h"
+
+namespace beethoven
+{
+
+/** User-visible Scratchpad parameters (the ScratchpadConfig knobs). */
+struct ScratchpadParams
+{
+    unsigned dataWidthBits = 32; ///< row width
+    unsigned nDatas = 1024;      ///< number of rows
+    unsigned nPorts = 1;         ///< request/response port pairs
+    unsigned latency = 1;        ///< read latency in cycles
+    bool supportsInit = true;    ///< include the init-from-memory path
+    std::size_t portQueueDepth = 4;
+
+    unsigned rowBytes() const { return (dataWidthBits + 7) / 8; }
+};
+
+/** A port request: read row, or write row with data. */
+struct SpadRequest
+{
+    u32 row = 0;
+    bool write = false;
+    std::vector<u8> data; ///< rowBytes when write
+};
+
+/** A read response. */
+struct SpadResponse
+{
+    u32 row = 0;
+    std::vector<u8> data;
+};
+
+/** Init command: fill rows [rowOffset, rowOffset+rows) from memAddr. */
+struct SpadInitCommand
+{
+    Addr memAddr = 0;
+    u32 rowOffset = 0;
+    u32 rows = 0;
+};
+
+class Scratchpad : public Module
+{
+  public:
+    /**
+     * @param init_reader  internal Reader for the init path (may be
+     *                     nullptr when supportsInit is false); owned by
+     *                     the caller (elaboration), one per scratchpad
+     */
+    Scratchpad(Simulator &sim, std::string name,
+               const ScratchpadParams &params, Reader *init_reader);
+
+    /** Port @p idx request/response queues. */
+    TimedQueue<SpadRequest> &reqPort(unsigned idx);
+    TimedQueue<SpadResponse> &respPort(unsigned idx);
+
+    /** Init channel (valid only when supportsInit). */
+    TimedQueue<SpadInitCommand> &initPort();
+    TimedQueue<StreamDone> &initDonePort();
+
+    /** Add an intra-core write port (returns its queue). */
+    TimedQueue<SpadRequest> &addIntraCoreWritePort();
+
+    /** Functional access for testing and host-side checking. */
+    std::vector<u8> peek(u32 row) const;
+    void poke(u32 row, const std::vector<u8> &data);
+    u64 peekUint(u32 row) const;
+    void pokeUint(u32 row, u64 value);
+
+    const ScratchpadParams &params() const { return _params; }
+
+    void tick() override;
+
+  private:
+    void serveInit();
+
+    ScratchpadParams _params;
+    Reader *_initReader;
+
+    std::vector<u8> _storage; ///< nDatas * rowBytes
+
+    std::vector<std::unique_ptr<TimedQueue<SpadRequest>>> _reqPorts;
+    std::vector<std::unique_ptr<TimedQueue<SpadResponse>>> _respPorts;
+    std::vector<std::unique_ptr<TimedQueue<SpadRequest>>> _intraPorts;
+
+    std::unique_ptr<TimedQueue<SpadInitCommand>> _initQ;
+    std::unique_ptr<TimedQueue<StreamDone>> _initDoneQ;
+
+    bool _initActive = false;
+    u32 _initRow = 0;
+    u32 _initRowsLeft = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_MEM_SCRATCHPAD_H

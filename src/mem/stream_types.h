@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Core-facing memory-stream flit types shared by Readers and Writers.
+ */
+
+#ifndef BEETHOVEN_MEM_STREAM_TYPES_H
+#define BEETHOVEN_MEM_STREAM_TYPES_H
+
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/**
+ * A stream request issued by an accelerator core to a Reader/Writer:
+ * "stream lenBytes starting at addr". Mirrors the RequestChannel of
+ * the paper's getReaderModule()/getWriterModule() accessors.
+ */
+struct StreamCommand
+{
+    Addr addr = 0;
+    u64 lenBytes = 0;
+};
+
+/** One port-width word moving between a core and a Reader/Writer. */
+struct StreamWord
+{
+    std::vector<u8> data;
+
+    /** Little-endian value view of the first min(8, size) bytes. */
+    u64
+    toUint() const
+    {
+        u64 v = 0;
+        const std::size_t n = data.size() < 8 ? data.size() : 8;
+        for (std::size_t i = 0; i < n; ++i)
+            v |= u64(data[i]) << (8 * i);
+        return v;
+    }
+
+    static StreamWord
+    fromUint(u64 v, unsigned nbytes)
+    {
+        StreamWord w;
+        w.data.resize(nbytes);
+        for (unsigned i = 0; i < nbytes && i < 8; ++i)
+            w.data[i] = static_cast<u8>(v >> (8 * i));
+        return w;
+    }
+};
+
+/** Completion token emitted by a Writer when a command fully lands. */
+struct StreamDone
+{
+    u64 bytesWritten = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_MEM_STREAM_TYPES_H

@@ -1,0 +1,99 @@
+#include "mem/strided.h"
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+StridedReader::StridedReader(Simulator &sim, std::string name,
+                             Reader &inner)
+    : Module(sim, std::move(name)), _inner(inner), _cmdQ(sim, 2)
+{}
+
+bool
+StridedReader::idle() const
+{
+    return !_active && _cmdQ.occupancy() == 0 && _inner.idle();
+}
+
+void
+StridedReader::tick()
+{
+    if (!_active && _cmdQ.canPop()) {
+        _cmd = _cmdQ.pop();
+        if (_cmd.nRows == 0 || _cmd.rowBytes == 0)
+            return; // empty pattern: nothing to stream
+        if (_cmd.strideBytes < _cmd.rowBytes) {
+            fatal("strided reader %s: stride %llu smaller than row "
+                  "%llu (rows would overlap)",
+                  name().c_str(),
+                  static_cast<unsigned long long>(_cmd.strideBytes),
+                  static_cast<unsigned long long>(_cmd.rowBytes));
+        }
+        _active = true;
+        _rowsIssued = 0;
+    }
+    if (_active && _rowsIssued < _cmd.nRows &&
+        _inner.cmdPort().canPush()) {
+        _inner.cmdPort().push(
+            {_cmd.base + u64(_rowsIssued) * _cmd.strideBytes,
+             _cmd.rowBytes});
+        if (++_rowsIssued == _cmd.nRows)
+            _active = false;
+    }
+}
+
+StridedWriter::StridedWriter(Simulator &sim, std::string name,
+                             Writer &inner)
+    : Module(sim, std::move(name)),
+      _inner(inner),
+      _cmdQ(sim, 2),
+      _doneQ(sim, 2)
+{}
+
+bool
+StridedWriter::idle() const
+{
+    return !_active && _cmdQ.occupancy() == 0 && _inner.idle();
+}
+
+void
+StridedWriter::tick()
+{
+    if (!_active && _cmdQ.canPop()) {
+        _cmd = _cmdQ.pop();
+        if (_cmd.nRows == 0 || _cmd.rowBytes == 0) {
+            if (_doneQ.canPush())
+                _doneQ.push(StreamDone{0});
+            return;
+        }
+        if (_cmd.strideBytes < _cmd.rowBytes) {
+            fatal("strided writer %s: stride %llu smaller than row "
+                  "%llu (rows would overlap)",
+                  name().c_str(),
+                  static_cast<unsigned long long>(_cmd.strideBytes),
+                  static_cast<unsigned long long>(_cmd.rowBytes));
+        }
+        _active = true;
+        _rowsIssued = 0;
+        _rowsDone = 0;
+    }
+    if (!_active)
+        return;
+    if (_rowsIssued < _cmd.nRows && _inner.cmdPort().canPush()) {
+        _inner.cmdPort().push(
+            {_cmd.base + u64(_rowsIssued) * _cmd.strideBytes,
+             _cmd.rowBytes});
+        ++_rowsIssued;
+    }
+    if (_inner.donePort().canPop()) {
+        _inner.donePort().pop();
+        ++_rowsDone;
+    }
+    if (_rowsDone == _cmd.nRows && _doneQ.canPush()) {
+        _doneQ.push(StreamDone{_cmd.totalBytes()});
+        _active = false;
+    }
+}
+
+} // namespace beethoven

@@ -1,0 +1,201 @@
+#include "mem/writer.h"
+
+#include <algorithm>
+
+#include "base/bits.h"
+#include "base/log.h"
+
+namespace beethoven
+{
+
+Writer::Writer(Simulator &sim, std::string name,
+               const WriterParams &params, const AxiConfig &bus,
+               u32 id_base, TimedQueue<WriteFlit> *w_out,
+               TimedQueue<WriteResponse> *b_in)
+    : Module(sim, std::move(name)),
+      _params(params),
+      _bus(bus),
+      _idBase(id_base),
+      _wOut(w_out),
+      _bIn(b_in),
+      _cmdQ(sim, params.cmdQueueDepth),
+      _dataQ(sim, params.dataQueueDepth),
+      _doneQ(sim, params.doneQueueDepth)
+{
+    beethoven_assert(params.dataBytes > 0, "writer port width 0");
+    beethoven_assert(params.burstBeats >= 1 &&
+                         params.burstBeats <= bus.maxBurstBeats,
+                     "writer burst length %u exceeds bus limit %u",
+                     params.burstBeats, bus.maxBurstBeats);
+    StatGroup &g = sim.stats().group(Module::name());
+    _statBytesWritten = &g.scalar("bytesWritten");
+    _statTxns = &g.scalar("transactions");
+}
+
+bool
+Writer::idle() const
+{
+    return !_active && _cmdQ.occupancy() == 0;
+}
+
+void
+Writer::tick()
+{
+    if (!_active)
+        startNextCommand();
+    acceptWords();
+    emitFlits();
+    receiveResponses();
+    // Deliver the completion token once every burst has been acked.
+    if (_active && _bytesLeft == 0 && _bytesAcked == _cmdLen &&
+        !_open.valid && _doneQ.canPush()) {
+        _doneQ.push(StreamDone{_cmdLen});
+        _active = false;
+    }
+}
+
+void
+Writer::startNextCommand()
+{
+    if (!_cmdQ.canPop())
+        return;
+    const StreamCommand cmd = _cmdQ.pop();
+    if (cmd.lenBytes == 0) {
+        // A zero-length stream still completes (with an empty token).
+        _active = true;
+        _cursor = cmd.addr;
+        _bytesLeft = 0;
+        _bytesAcked = 0;
+        _cmdLen = 0;
+        return;
+    }
+    if (cmd.addr % _params.dataBytes != 0 ||
+        cmd.lenBytes % _params.dataBytes != 0) {
+        fatal("writer %s: stream [0x%llx, +%llu) not aligned to the "
+              "%u-byte port width",
+              name().c_str(),
+              static_cast<unsigned long long>(cmd.addr),
+              static_cast<unsigned long long>(cmd.lenBytes),
+              _params.dataBytes);
+    }
+    _active = true;
+    _cursor = cmd.addr;
+    _bytesLeft = cmd.lenBytes;
+    _bytesAcked = 0;
+    _cmdLen = cmd.lenBytes;
+    _stagedTotal = 0;
+    beethoven_assert(_stage.empty(),
+                     "writer %s: stage residue across commands",
+                     name().c_str());
+}
+
+void
+Writer::acceptWords()
+{
+    // Accept only the current command's bytes; anything further on the
+    // port belongs to the next command and must wait (otherwise bytes
+    // of back-to-back commands would interleave in the stage).
+    if (!_active || _stagedTotal >= _cmdLen || !_dataQ.canPop())
+        return;
+    // One port word per cycle (the port is dataBytes wide).
+    StreamWord w = _dataQ.pop();
+    beethoven_assert(w.data.size() == _params.dataBytes,
+                     "writer %s received %zu-byte word on %u-byte port",
+                     name().c_str(), w.data.size(), _params.dataBytes);
+    _stage.insert(_stage.end(), w.data.begin(), w.data.end());
+    _stagedTotal += w.data.size();
+}
+
+void
+Writer::emitFlits()
+{
+    if (!_active && !_open.valid)
+        return;
+
+    // Open a new burst when the previous one has fully left and the
+    // stage holds the burst's bytes (hardware writers gate the AW on
+    // having the data to avoid stalling the shared W channel).
+    if (!_open.valid && _bytesLeft > 0 &&
+        _outstanding.size() < _params.maxInflight) {
+        const Addr beat_addr = (_cursor / _bus.dataBytes) * _bus.dataBytes;
+        const u64 offset = _cursor - beat_addr;
+        const u64 max_bytes =
+            u64(_params.burstBeats) * _bus.dataBytes - offset;
+        const u64 txn_bytes = std::min<u64>(_bytesLeft, max_bytes);
+        if (_stage.size() < txn_bytes)
+            return; // keep staging words from the core
+        const u32 beats = static_cast<u32>(
+            divCeil(offset + txn_bytes, _bus.dataBytes));
+
+        _open.valid = true;
+        _open.headerSent = false;
+        _open.nextBeat = 0;
+        _open.header.id =
+            _idBase + static_cast<u32>(_params.useTlp
+                                           ? _txnSeq % _params.maxInflight
+                                           : 0);
+        _open.header.addr = beat_addr;
+        _open.header.beats = beats;
+        _open.header.tag = nextGlobalTag();
+        _open.beats.assign(beats, WriteBeat{});
+        for (u32 b = 0; b < beats; ++b) {
+            WriteBeat &beat = _open.beats[b];
+            beat.data.assign(_bus.dataBytes, 0);
+            beat.strb.assign(_bus.dataBytes, false);
+            beat.last = b + 1 == beats;
+            const u64 beat_lo = u64(b) * _bus.dataBytes;
+            const u64 beat_hi = beat_lo + _bus.dataBytes;
+            const u64 valid_lo = std::max<u64>(beat_lo, offset);
+            const u64 valid_hi =
+                std::min<u64>(beat_hi, offset + txn_bytes);
+            for (u64 i = valid_lo; i < valid_hi; ++i) {
+                beat.data[i - beat_lo] = _stage[i - offset];
+                beat.strb[i - beat_lo] = true;
+            }
+        }
+        _stage.erase(_stage.begin(),
+                     _stage.begin() + static_cast<long>(txn_bytes));
+        _outstanding.emplace_back(_open.header.tag, txn_bytes);
+        _cursor += txn_bytes;
+        _bytesLeft -= txn_bytes;
+        ++_txnSeq;
+        ++*_statTxns;
+    }
+
+    if (!_open.valid || !_wOut->canPush())
+        return;
+
+    WriteFlit flit;
+    if (!_open.headerSent) {
+        flit.hasHeader = true;
+        flit.header = _open.header;
+        _open.headerSent = true;
+    }
+    flit.beat = std::move(_open.beats[_open.nextBeat]);
+    ++_open.nextBeat;
+    *_statBytesWritten += _bus.dataBytes;
+    _wOut->push(std::move(flit));
+    if (_open.nextBeat == _open.beats.size()) {
+        _open.valid = false;
+        _open.beats.clear();
+    }
+}
+
+void
+Writer::receiveResponses()
+{
+    if (!_bIn->canPop())
+        return;
+    const WriteResponse resp = _bIn->pop();
+    for (auto it = _outstanding.begin(); it != _outstanding.end(); ++it) {
+        if (it->first == resp.tag) {
+            _bytesAcked += it->second;
+            _outstanding.erase(it);
+            return;
+        }
+    }
+    panic("writer %s received B for unknown tag %llu", name().c_str(),
+          static_cast<unsigned long long>(resp.tag));
+}
+
+} // namespace beethoven

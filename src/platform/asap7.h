@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ASAP7 ASIC platform (Section II-D, "ASIC Platforms"): a ChipKIT-style
+ * test-chip target using a 7 nm predictive PDK. The memory compiler
+ * cascades/banks SRAM macros; host communication goes through an
+ * on-chip microcontroller, so MMIO costs are single-digit cycles.
+ */
+
+#ifndef BEETHOVEN_PLATFORM_ASAP7_H
+#define BEETHOVEN_PLATFORM_ASAP7_H
+
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+class Asap7Platform : public Platform
+{
+  public:
+    std::string name() const override { return "ASAP7"; }
+
+    bool isAsic() const override { return true; }
+    bool sharedAddressSpace() const override { return true; }
+
+    double clockMHz() const override { return 1000.0; }
+
+    AxiConfig
+    memoryConfig() const override
+    {
+        AxiConfig cfg;
+        cfg.addrBits = 32;
+        cfg.dataBytes = 32;
+        cfg.idBits = 6;
+        cfg.maxBurstBeats = 64;
+        return cfg;
+    }
+
+    DramTiming
+    dramTiming() const override
+    {
+        // At a 1 GHz core clock the same DDR4 part takes ~4x the
+        // controller cycles per DRAM operation.
+        DramTiming t;
+        t.tRCD = 16;
+        t.tRP = 16;
+        t.tRAS = 32;
+        t.tCAS = 16;
+        t.tRRD = 4;
+        t.tFAW = 24;
+        t.tSwitch = 8;
+        return t;
+    }
+
+    u64 memoryCapacityBytes() const override { return u64(2) << 30; }
+
+    std::vector<SlrDescriptor>
+    slrs() const override
+    {
+        // A single die. "Capacity" bounds area rather than LUTs; the
+        // LUT/FF columns are interpreted as NAND2-equivalent gates.
+        SlrDescriptor die;
+        die.name = "DIE0";
+        die.capacity = {0, 5.0e6, 5.0e6, 0, 0, 4096, 25.0e6};
+        die.capacity.clb = 1.0e6;
+        die.hasHostInterface = true;
+        die.hasMemoryInterface = true;
+        return {die};
+    }
+
+    MemoryCellLibrary
+    cellLibrary() const override
+    {
+        return MemoryCellLibrary::asap7();
+    }
+
+    unsigned mmioReadCycles() const override { return 4; }
+    unsigned mmioWriteCycles() const override { return 2; }
+
+    double dmaBandwidthBytesPerCycle() const override { return 32.0; }
+
+    PowerModel
+    powerModel() const override
+    {
+        PowerModel p;
+        p.staticWatts = 0.1;
+        p.lutWatts = 0.4e-6; // per gate-equivalent at 1 GHz
+        p.ffWatts = 0.2e-6;
+        return p;
+    }
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PLATFORM_ASAP7_H

@@ -1,0 +1,35 @@
+#include "platform/aws_f1.h"
+
+namespace beethoven
+{
+
+std::vector<SlrDescriptor>
+AwsF1Platform::slrs() const
+{
+    // Xilinx VU9P: three SLRs, each roughly one third of the device
+    // (1,182K LUTs / 2,364K FFs / ~148K CLBs / 2,160 BRAM36 / 960 URAM
+    // total). The AWS F1 shell occupies parts of SLR0 and SLR1, which
+    // is why the paper adds per-SLR core-placement affinity
+    // (Section III-C: "the shell consumed significant resources only
+    // on SLR0/1").
+    SlrDescriptor slr0;
+    slr0.name = "SLR0";
+    slr0.capacity = {49260, 394080, 788160, 720, 320, 0, 0};
+    slr0.shellFootprint = {20000, 105000, 130000, 110, 20, 0, 0};
+    slr0.hasHostInterface = true;
+
+    SlrDescriptor slr1;
+    slr1.name = "SLR1";
+    slr1.capacity = {49260, 394080, 788160, 720, 320, 0, 0};
+    slr1.shellFootprint = {8000, 45000, 60000, 40, 12, 0, 0};
+    slr1.hasMemoryInterface = true;
+
+    SlrDescriptor slr2;
+    slr2.name = "SLR2";
+    slr2.capacity = {49260, 394080, 788160, 720, 320, 0, 0};
+    slr2.shellFootprint = {0, 0, 0, 0, 0, 0, 0};
+
+    return {slr0, slr1, slr2};
+}
+
+} // namespace beethoven

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * AWS F1 platform: a discrete, PCIe-mounted Xilinx Alveo U200 (VU9P)
+ * with three SLRs — the paper's primary evaluation target.
+ */
+
+#ifndef BEETHOVEN_PLATFORM_AWS_F1_H
+#define BEETHOVEN_PLATFORM_AWS_F1_H
+
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+class AwsF1Platform : public Platform
+{
+  public:
+    std::string name() const override { return "AWSF1"; }
+
+    double clockMHz() const override { return _clockMHz; }
+    void setClockMHz(double mhz) { _clockMHz = mhz; }
+
+    AxiConfig
+    memoryConfig() const override
+    {
+        AxiConfig cfg;
+        cfg.addrBits = 34;
+        cfg.dataBytes = 64;
+        cfg.idBits = 10;
+        cfg.maxBurstBeats = 64;
+        return cfg;
+    }
+
+    DramTiming dramTiming() const override
+    {
+        return DramTiming::ddr4_2400();
+    }
+
+    u64 memoryCapacityBytes() const override { return u64(16) << 30; }
+
+    std::vector<SlrDescriptor> slrs() const override;
+
+    unsigned hostSlr() const override { return 0; }
+    unsigned memorySlr() const override { return 1; }
+
+    NocParams
+    nocParams() const override
+    {
+        NocParams p;
+        p.fanout = 4;
+        p.slrCrossingLatency = 4;
+        p.queueDepth = 2;
+        return p;
+    }
+
+    MemoryCellLibrary
+    cellLibrary() const override
+    {
+        return MemoryCellLibrary::ultrascalePlus();
+    }
+
+    // BRAM/URAM columns on the VU9P congest well before nominal
+    // capacity (Section III-C), so the spill rule sees roughly half
+    // the blocks as usable per SLR.
+    double memoryCongestionDerate() const override { return 0.5; }
+
+    // PCIe MMIO: ~500 ns reads, ~250 ns writes at 250 MHz.
+    unsigned mmioReadCycles() const override { return 125; }
+    unsigned mmioWriteCycles() const override { return 62; }
+
+    // PCIe gen3 x16 DMA ~12 GB/s = 48 B per 250 MHz cycle.
+    double dmaBandwidthBytesPerCycle() const override { return 48.0; }
+
+    PowerModel
+    powerModel() const override
+    {
+        PowerModel p;
+        p.staticWatts = 3.0;
+        return p;
+    }
+
+  private:
+    double _clockMHz = 250.0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PLATFORM_AWS_F1_H

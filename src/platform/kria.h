@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Kria KV260 platform: an embedded Zynq UltraScale+ (XCK26) where the
+ * FPGA fabric shares the host's address space and reads/writes are
+ * kept coherent via AXI-ACE (Section II-C, "Embedded Platforms").
+ */
+
+#ifndef BEETHOVEN_PLATFORM_KRIA_H
+#define BEETHOVEN_PLATFORM_KRIA_H
+
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+class KriaPlatform : public Platform
+{
+  public:
+    std::string name() const override { return "Kria"; }
+
+    bool sharedAddressSpace() const override { return true; }
+
+    double clockMHz() const override { return 125.0; }
+
+    AxiConfig
+    memoryConfig() const override
+    {
+        AxiConfig cfg;
+        cfg.addrBits = 40;
+        cfg.dataBytes = 16; // 128-bit HP port
+        cfg.idBits = 6;
+        cfg.maxBurstBeats = 64;
+        return cfg;
+    }
+
+    DramTiming
+    dramTiming() const override
+    {
+        return DramTiming::lpddr4_embedded();
+    }
+
+    DramGeometry
+    dramGeometry() const override
+    {
+        DramGeometry g;
+        g.nBankGroups = 2;
+        g.banksPerGroup = 4;
+        g.rowBytesPerBank = 4096;
+        g.interleaveBytes = 16;
+        return g;
+    }
+
+    u64 memoryCapacityBytes() const override { return u64(4) << 30; }
+
+    std::vector<SlrDescriptor>
+    slrs() const override
+    {
+        SlrDescriptor slr;
+        slr.name = "SLR0";
+        // XCK26: ~117K LUTs, 234K FFs, 144 BRAM36, 64 URAM.
+        slr.capacity = {14616, 117120, 234240, 144, 64, 0, 0};
+        slr.shellFootprint = {1200, 9000, 12000, 8, 0, 0, 0};
+        slr.hasHostInterface = true;
+        slr.hasMemoryInterface = true;
+        return {slr};
+    }
+
+    MemoryCellLibrary
+    cellLibrary() const override
+    {
+        return MemoryCellLibrary::ultrascalePlus();
+    }
+
+    // On-die MMIO: tens of nanoseconds.
+    unsigned mmioReadCycles() const override { return 12; }
+    unsigned mmioWriteCycles() const override { return 6; }
+
+    // Shared address space: "DMA" is a cache-maintenance-scale cost.
+    double dmaBandwidthBytesPerCycle() const override { return 128.0; }
+
+    unsigned defaultBurstBeats() const override { return 32; }
+
+    PowerModel
+    powerModel() const override
+    {
+        PowerModel p;
+        p.staticWatts = 0.8;
+        return p;
+    }
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PLATFORM_KRIA_H

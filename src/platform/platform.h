@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Platform development interface (Section II-B, "Platform
+ * Development").
+ *
+ * "To add support for a new platform in Beethoven, it is only
+ * necessary to provide details for three things": ASIC/FPGA kind,
+ * external memory space and protocol parameters, and host-accelerator
+ * communication information. Optional additions cover multi-die
+ * information, Reader/Writer performance knobs, and network
+ * elaboration knobs — all of which appear below as virtual methods
+ * with sensible defaults.
+ */
+
+#ifndef BEETHOVEN_PLATFORM_PLATFORM_H
+#define BEETHOVEN_PLATFORM_PLATFORM_H
+
+#include <string>
+#include <vector>
+
+#include "axi/axi_types.h"
+#include "dram/timing.h"
+#include "floorplan/resources.h"
+#include "mem/memory_compiler.h"
+#include "noc/tree.h"
+
+namespace beethoven
+{
+
+/** One die (Super Logic Region) of the target device. */
+struct SlrDescriptor
+{
+    std::string name;
+    ResourceVec capacity;
+    ResourceVec shellFootprint; ///< consumed by the platform shell
+    bool hasHostInterface = false;
+    bool hasMemoryInterface = false;
+
+    ResourceVec
+    available() const
+    {
+        ResourceVec a = capacity;
+        a.clb -= shellFootprint.clb;
+        a.lut -= shellFootprint.lut;
+        a.ff -= shellFootprint.ff;
+        a.bram -= shellFootprint.bram;
+        a.uram -= shellFootprint.uram;
+        return a;
+    }
+};
+
+/** Resource-based power estimation (calibrated per platform). */
+struct PowerModel
+{
+    double staticWatts = 2.0;
+    double lutWatts = 10e-6;
+    double ffWatts = 4e-6;
+    double bramWatts = 7e-3;
+    double uramWatts = 8e-3;
+
+    double
+    watts(const ResourceVec &r) const
+    {
+        return staticWatts + r.lut * lutWatts + r.ff * ffWatts +
+               r.bram * bramWatts + r.uram * uramWatts;
+    }
+};
+
+class Platform
+{
+  public:
+    virtual ~Platform() = default;
+
+    virtual std::string name() const = 0;
+
+    /** ASIC targets skip FPGA-specific elaboration choices. */
+    virtual bool isAsic() const { return false; }
+
+    /** Embedded platforms share one address space with the host. */
+    virtual bool sharedAddressSpace() const { return false; }
+
+    virtual double clockMHz() const = 0;
+
+    /** External memory protocol parameters. */
+    virtual AxiConfig memoryConfig() const = 0;
+    virtual DramTiming dramTiming() const = 0;
+    virtual DramGeometry dramGeometry() const { return DramGeometry{}; }
+    virtual u64 memoryCapacityBytes() const = 0;
+
+    /** Multi-die information (optional; single die by default). */
+    virtual std::vector<SlrDescriptor> slrs() const = 0;
+    virtual unsigned hostSlr() const { return 0; }
+    virtual unsigned memorySlr() const { return 0; }
+
+    /** Network elaboration knobs. */
+    virtual NocParams nocParams() const { return NocParams{}; }
+
+    /**
+     * Fraction of an SLR's memory blocks that are realistically
+     * routable before congestion sets in. The 80 % spill rule applies
+     * against derated availability — the Section III-C experience
+     * ("congestion we perceived due to BRAM overutilization") at well
+     * under nominal capacity.
+     */
+    virtual double memoryCongestionDerate() const { return 1.0; }
+
+    /** On-chip memory technology. */
+    virtual MemoryCellLibrary cellLibrary() const = 0;
+    /** Preferred cell family before the 80 % spill rule applies. */
+    virtual MemoryCellKind
+    preferredMemoryKind() const
+    {
+        return isAsic() ? MemoryCellKind::AsicSram : MemoryCellKind::Bram;
+    }
+
+    /** Host-accelerator communication costs, in accelerator cycles. */
+    virtual unsigned mmioReadCycles() const = 0;
+    virtual unsigned mmioWriteCycles() const = 0;
+
+    /** Host<->device bulk copy bandwidth (bytes per accel. cycle). */
+    virtual double dmaBandwidthBytesPerCycle() const = 0;
+
+    /** Reader/Writer internal performance knobs (platform tuning). */
+    virtual unsigned defaultBurstBeats() const { return 64; }
+    virtual unsigned defaultMaxInflight() const { return 4; }
+
+    virtual PowerModel powerModel() const { return PowerModel{}; }
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PLATFORM_PLATFORM_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simulation platform (Section II-D): the debugging/performance-
+ * prediction target. Mirrors the F1 memory system (DRAM model
+ * included, as the paper integrates DRAMSim3) but exposes a single
+ * SLR and near-zero host access costs so functional tests run fast.
+ */
+
+#ifndef BEETHOVEN_PLATFORM_SIM_PLATFORM_H
+#define BEETHOVEN_PLATFORM_SIM_PLATFORM_H
+
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+class SimulationPlatform : public Platform
+{
+  public:
+    std::string name() const override { return "Simulation"; }
+
+    double clockMHz() const override { return 250.0; }
+
+    AxiConfig
+    memoryConfig() const override
+    {
+        AxiConfig cfg;
+        cfg.addrBits = 34;
+        cfg.dataBytes = 64;
+        cfg.idBits = 8;
+        cfg.maxBurstBeats = 64;
+        return cfg;
+    }
+
+    DramTiming dramTiming() const override
+    {
+        return DramTiming::ddr4_2400();
+    }
+
+    u64 memoryCapacityBytes() const override { return u64(16) << 30; }
+
+    std::vector<SlrDescriptor>
+    slrs() const override
+    {
+        SlrDescriptor slr;
+        slr.name = "SLR0";
+        // Generously sized: simulation should never be capacity-bound.
+        slr.capacity = {400000, 3200000, 6400000, 8000, 4000, 0, 0};
+        slr.hasHostInterface = true;
+        slr.hasMemoryInterface = true;
+        return {slr};
+    }
+
+    MemoryCellLibrary
+    cellLibrary() const override
+    {
+        return MemoryCellLibrary::ultrascalePlus();
+    }
+
+    unsigned mmioReadCycles() const override { return 2; }
+    unsigned mmioWriteCycles() const override { return 1; }
+
+    double dmaBandwidthBytesPerCycle() const override { return 1024.0; }
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PLATFORM_SIM_PLATFORM_H

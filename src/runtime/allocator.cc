@@ -1,0 +1,84 @@
+#include "runtime/allocator.h"
+
+#include "base/bits.h"
+#include "base/log.h"
+
+namespace beethoven
+{
+
+DeviceAllocator::DeviceAllocator(Addr base, u64 size, u64 alignment)
+    : _base(base), _size(size), _alignment(alignment)
+{
+    if (!isPowerOf2(alignment))
+        fatal("allocator alignment %llu is not a power of two",
+              static_cast<unsigned long long>(alignment));
+    if (base % alignment != 0)
+        fatal("allocator base 0x%llx not aligned to %llu",
+              static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(alignment));
+    if (size == 0)
+        fatal("allocator with zero capacity");
+    _free.emplace(base, size);
+}
+
+std::optional<Addr>
+DeviceAllocator::allocate(u64 size)
+{
+    if (size == 0)
+        size = 1;
+    size = roundUp(size, _alignment);
+    // First fit.
+    for (auto it = _free.begin(); it != _free.end(); ++it) {
+        if (it->second < size)
+            continue;
+        const Addr addr = it->first;
+        const u64 remaining = it->second - size;
+        _free.erase(it);
+        if (remaining > 0)
+            _free.emplace(addr + size, remaining);
+        _allocated.emplace(addr, size);
+        _bytesAllocated += size;
+        return addr;
+    }
+    return std::nullopt;
+}
+
+void
+DeviceAllocator::release(Addr addr)
+{
+    auto it = _allocated.find(addr);
+    if (it == _allocated.end())
+        fatal("release of 0x%llx which is not an active allocation",
+              static_cast<unsigned long long>(addr));
+    u64 start = it->first;
+    u64 len = it->second;
+    _bytesAllocated -= len;
+    _allocated.erase(it);
+
+    // Coalesce with the following free block.
+    auto next = _free.lower_bound(start);
+    if (next != _free.end() && next->first == start + len) {
+        len += next->second;
+        _free.erase(next);
+    }
+    // Coalesce with the preceding free block.
+    auto prev = _free.lower_bound(start);
+    if (prev != _free.begin()) {
+        --prev;
+        if (prev->first + prev->second == start) {
+            start = prev->first;
+            len += prev->second;
+            _free.erase(prev);
+        }
+    }
+    _free.emplace(start, len);
+}
+
+u64
+DeviceAllocator::allocationSize(Addr addr) const
+{
+    auto it = _allocated.find(addr);
+    return it == _allocated.end() ? 0 : it->second;
+}
+
+} // namespace beethoven

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Device memory allocator (Section II-C2, "Managing the FPGA Memory
+ * Space").
+ *
+ * On discrete platforms "the Beethoven runtime provides an allocator
+ * for this discrete address space and maintains all states in the
+ * host's address space". The allocator is a first-fit free list with
+ * coalescing on release; allocations are aligned so Readers/Writers
+ * see bus-friendly addresses.
+ */
+
+#ifndef BEETHOVEN_RUNTIME_ALLOCATOR_H
+#define BEETHOVEN_RUNTIME_ALLOCATOR_H
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+class DeviceAllocator
+{
+  public:
+    /**
+     * Manage [base, base+size). @p alignment must be a power of two;
+     * every returned address is a multiple of it.
+     */
+    DeviceAllocator(Addr base, u64 size, u64 alignment = 64);
+
+    /** Allocate @p size bytes; std::nullopt when space is exhausted. */
+    std::optional<Addr> allocate(u64 size);
+
+    /**
+     * Release a block previously returned by allocate().
+     * @throws ConfigError for addresses not currently allocated
+     *         (double free / wild free).
+     */
+    void release(Addr addr);
+
+    u64 bytesAllocated() const { return _bytesAllocated; }
+    u64 bytesFree() const { return _size - _bytesAllocated; }
+    std::size_t numAllocations() const { return _allocated.size(); }
+    std::size_t numFreeBlocks() const { return _free.size(); }
+    Addr base() const { return _base; }
+    u64 size() const { return _size; }
+
+    /** Size of the live allocation at @p addr (0 if none). */
+    u64 allocationSize(Addr addr) const;
+
+  private:
+    Addr _base;
+    u64 _size;
+    u64 _alignment;
+    u64 _bytesAllocated = 0;
+
+    std::map<Addr, u64> _free;      ///< start -> length
+    std::map<Addr, u64> _allocated; ///< start -> length
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_RUNTIME_ALLOCATOR_H

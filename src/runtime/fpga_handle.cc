@@ -1,0 +1,86 @@
+#include "runtime/fpga_handle.h"
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+remote_ptr
+fpga_handle_t::malloc(std::size_t n_bytes)
+{
+    auto addr = _server->allocator().allocate(n_bytes);
+    if (!addr) {
+        fatal("device allocator exhausted: %zu bytes requested, %llu "
+              "free",
+              n_bytes,
+              static_cast<unsigned long long>(
+                  _server->allocator().bytesFree()));
+    }
+    return remote_ptr(*addr, n_bytes);
+}
+
+void
+fpga_handle_t::free(const remote_ptr &ptr)
+{
+    _server->allocator().release(ptr.getFpgaAddr());
+}
+
+void
+fpga_handle_t::copy_to_fpga(const remote_ptr &ptr)
+{
+    bool done = false;
+    HostOp op;
+    op.kind = HostOp::Kind::DmaToDevice;
+    op.devAddr = ptr.getFpgaAddr();
+    op.hostSrc = ptr.getHostAddr();
+    op.len = ptr.size();
+    op.done = [&done](u32) { done = true; };
+    _server->hostIf().enqueue(std::move(op));
+    if (!_server->soc().sim().runUntil([&] { return done; },
+                                       1'000'000'000ULL))
+        fatal("DMA to device timed out");
+}
+
+void
+fpga_handle_t::copy_from_fpga(remote_ptr &ptr)
+{
+    bool done = false;
+    HostOp op;
+    op.kind = HostOp::Kind::DmaFromDevice;
+    op.devAddr = ptr.getFpgaAddr();
+    op.hostDst = ptr.getHostAddr();
+    op.len = ptr.size();
+    op.done = [&done](u32) { done = true; };
+    _server->hostIf().enqueue(std::move(op));
+    if (!_server->soc().sim().runUntil([&] { return done; },
+                                       1'000'000'000ULL))
+        fatal("DMA from device timed out");
+}
+
+response_handle<u64>
+fpga_handle_t::invoke(const std::string &system,
+                      const std::string &command, u32 core_idx,
+                      const std::vector<u64> &args)
+{
+    const u32 system_id = _server->soc().systemIdOf(system);
+    const auto &sys_cfg = _server->soc().systemConfig(system);
+    if (core_idx >= sys_cfg.nCores) {
+        fatal("core index %u out of range for system %s (%u cores)",
+              core_idx, system.c_str(), sys_cfg.nCores);
+    }
+    for (u32 cmd_id = 0; cmd_id < sys_cfg.commands.size(); ++cmd_id) {
+        const CommandSpec &spec = sys_cfg.commands[cmd_id];
+        if (spec.name() != command)
+            continue;
+        const u32 rd = _server->allocateRd(system_id, core_idx);
+        _server->sendCommand(spec, system_id, core_idx, cmd_id, rd,
+                             args);
+        RuntimeServer::RespKey key{system_id, core_idx, rd};
+        return response_handle<u64>(_server, key,
+                                    [](u64 v) { return v; });
+    }
+    fatal("system %s declares no command named '%s'", system.c_str(),
+          command.c_str());
+}
+
+} // namespace beethoven

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * fpga_handle_t and response_handle<T> — the Beethoven software
+ * library (Section II-C3, Fig. 3c, Appendix B).
+ *
+ * "The library provides access to the allocator, DMA routines to FPGA
+ * memory, and a command/response interface. ... Sending a command
+ * returns a response handle, which the user may use to block while
+ * waiting for the command to finish processing."
+ */
+
+#ifndef BEETHOVEN_RUNTIME_FPGA_HANDLE_H
+#define BEETHOVEN_RUNTIME_FPGA_HANDLE_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/remote_ptr.h"
+#include "runtime/runtime_server.h"
+
+namespace beethoven
+{
+
+/**
+ * Handle to one in-flight command's eventual response.
+ *
+ * get() blocks (stepping the simulation and polling through the
+ * runtime server); try_get() checks without blocking beyond one poll.
+ */
+template <typename T = u64>
+class response_handle
+{
+  public:
+    using Decoder = std::function<T(u64)>;
+
+    response_handle() = default;
+
+    response_handle(RuntimeServer *server, RuntimeServer::RespKey key,
+                    Decoder decode)
+        : _server(server), _key(key), _decode(std::move(decode))
+    {}
+
+    /** Block until the accelerator responds; returns the payload. */
+    T
+    get()
+    {
+        beethoven_assert(_server != nullptr,
+                         "get() on empty response_handle");
+        return _decode(_server->waitFor(_key));
+    }
+
+    /** One poll attempt; value if the response has arrived. */
+    std::optional<T>
+    try_get()
+    {
+        beethoven_assert(_server != nullptr,
+                         "try_get() on empty response_handle");
+        if (auto v = _server->tryCollect(_key))
+            return _decode(*v);
+        return std::nullopt;
+    }
+
+  private:
+    RuntimeServer *_server = nullptr;
+    RuntimeServer::RespKey _key{};
+    Decoder _decode;
+};
+
+/**
+ * The per-process handle to the Beethoven runtime (Fig. 3c's
+ * `fpga_handle_t handle;`).
+ */
+class fpga_handle_t
+{
+  public:
+    explicit fpga_handle_t(RuntimeServer &server) : _server(&server) {}
+
+    /** Allocate accelerator-visible memory (Appendix B). */
+    remote_ptr malloc(std::size_t n_bytes);
+
+    /** Release an allocation. */
+    void free(const remote_ptr &ptr);
+
+    /** DMA the host-side buffer into accelerator memory. */
+    void copy_to_fpga(const remote_ptr &ptr);
+
+    /** DMA accelerator memory back into the host-side buffer. */
+    void copy_from_fpga(remote_ptr &ptr);
+
+    /**
+     * Send a custom command by name — the dynamic equivalent of the
+     * statically generated stub of Fig. 3b (bindgen emits the static
+     * form; both share this packing path).
+     *
+     * @param system    System name from the AcceleratorConfig
+     * @param command   CommandSpec name within that system
+     * @param core_idx  target core
+     * @param args      field values in CommandSpec order
+     */
+    response_handle<u64> invoke(const std::string &system,
+                                const std::string &command, u32 core_idx,
+                                const std::vector<u64> &args);
+
+    RuntimeServer &server() { return *_server; }
+
+  private:
+    RuntimeServer *_server;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_RUNTIME_FPGA_HANDLE_H

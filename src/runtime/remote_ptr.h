@@ -1,0 +1,92 @@
+/**
+ * @file
+ * remote_ptr — a host handle to an accelerator-visible allocation
+ * (Fig. 3c and Appendix B).
+ *
+ * Pairs the device address (what Readers/Writers consume) with a
+ * host-side buffer used as the source/destination of DMA copies. On
+ * embedded platforms the two views alias the same physical memory; the
+ * runtime hides the difference (Section II-C2).
+ */
+
+#ifndef BEETHOVEN_RUNTIME_REMOTE_PTR_H
+#define BEETHOVEN_RUNTIME_REMOTE_PTR_H
+
+#include <memory>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+
+namespace beethoven
+{
+
+class remote_ptr
+{
+  public:
+    remote_ptr() = default;
+
+    remote_ptr(Addr fpga_addr, std::size_t len)
+        : _fpgaAddr(fpga_addr), _len(len),
+          _host(std::make_shared<std::vector<u8>>(len, 0))
+    {}
+
+    bool valid() const { return _host != nullptr; }
+    Addr getFpgaAddr() const { return _fpgaAddr; }
+    std::size_t size() const { return _len; }
+
+    u8 *
+    getHostAddr()
+    {
+        beethoven_assert(valid(), "getHostAddr() on invalid remote_ptr");
+        return _host->data() + _hostOffset;
+    }
+
+    const u8 *
+    getHostAddr() const
+    {
+        beethoven_assert(valid(), "getHostAddr() on invalid remote_ptr");
+        return _host->data() + _hostOffset;
+    }
+
+    /** Typed host-side view. */
+    template <typename T>
+    T *
+    as()
+    {
+        return reinterpret_cast<T *>(getHostAddr());
+    }
+
+    template <typename T>
+    const T *
+    as() const
+    {
+        return reinterpret_cast<const T *>(getHostAddr());
+    }
+
+    /** A view advanced by @p bytes (shares the host buffer). */
+    remote_ptr
+    offset(std::size_t bytes) const
+    {
+        beethoven_assert(bytes <= _len, "offset %zu beyond %zu-byte "
+                         "allocation", bytes, _len);
+        remote_ptr p;
+        p._fpgaAddr = _fpgaAddr + bytes;
+        p._len = _len - bytes;
+        p._host = _host;
+        p._hostOffset = _hostOffset + bytes;
+        return p;
+    }
+
+  private:
+    friend class fpga_handle_t;
+
+    Addr _fpgaAddr = 0;
+    std::size_t _len = 0;
+    std::shared_ptr<std::vector<u8>> _host;
+    std::size_t _hostOffset = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_RUNTIME_REMOTE_PTR_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Base classes for the cycle-level simulation kernel.
+ *
+ * The kernel substitutes for RTL simulation of the elaborated Beethoven
+ * SoC (the paper uses Verilator/VCS; see DESIGN.md). Hardware is
+ * modeled as Modules connected by TimedQueues. Each simulated cycle has
+ * two phases:
+ *
+ *   1. tick():   every module observes the *committed* state of its
+ *                input queues and stages pushes onto its outputs;
+ *   2. commit(): every queue publishes staged pushes and forgives the
+ *                space freed by this cycle's pops.
+ *
+ * Because staged pushes and freed space only become visible at commit,
+ * simulation results are independent of module tick order — the same
+ * determinism a synchronous netlist provides.
+ */
+
+#ifndef BEETHOVEN_SIM_MODULE_H
+#define BEETHOVEN_SIM_MODULE_H
+
+#include <string>
+
+namespace beethoven
+{
+
+class Simulator;
+
+/** Anything with per-cycle end-of-cycle state publication. */
+class Committable
+{
+  public:
+    virtual ~Committable() = default;
+
+    /** Publish state staged during this cycle's tick phase. */
+    virtual void commit() = 0;
+};
+
+/**
+ * A clocked hardware module.
+ *
+ * Construction registers the module with its Simulator; the owner
+ * (normally the elaborated SoC) controls lifetime and must outlive the
+ * Simulator's use of it.
+ */
+class Module
+{
+  public:
+    Module(Simulator &sim, std::string name);
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Evaluate one cycle of sequential behaviour. */
+    virtual void tick() = 0;
+
+    const std::string &name() const { return _name; }
+
+    Simulator &sim() const { return _sim; }
+
+  private:
+    Simulator &_sim;
+    std::string _name;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_SIM_MODULE_H

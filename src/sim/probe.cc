@@ -1,0 +1,102 @@
+#include "sim/probe.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "base/log.h"
+
+namespace beethoven
+{
+
+ProbeSet::ProbeSet(Simulator &sim, std::string name, Cycle period)
+    : Module(sim, std::move(name)), _period(std::max<Cycle>(1, period))
+{}
+
+void
+ProbeSet::add(std::string signal_name, Signal signal)
+{
+    beethoven_assert(signal != nullptr, "probe %s: null signal",
+                     signal_name.c_str());
+    beethoven_assert(_sampleCycles.empty(),
+                     "probe signals must be added before sampling "
+                     "starts");
+    _signals.push_back({std::move(signal_name), std::move(signal), {}});
+}
+
+const std::vector<double> &
+ProbeSet::trace(std::size_t idx) const
+{
+    beethoven_assert(idx < _signals.size(), "probe index %zu out of "
+                     "range", idx);
+    return _signals[idx].samples;
+}
+
+void
+ProbeSet::tick()
+{
+    if (sim().cycle() % _period != 0)
+        return;
+    _sampleCycles.push_back(sim().cycle());
+    for (auto &entry : _signals)
+        entry.samples.push_back(entry.signal());
+}
+
+void
+ProbeSet::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const auto &entry : _signals)
+        os << "," << entry.name;
+    os << "\n";
+    for (std::size_t i = 0; i < _sampleCycles.size(); ++i) {
+        os << _sampleCycles[i];
+        for (const auto &entry : _signals)
+            os << "," << entry.samples[i];
+        os << "\n";
+    }
+}
+
+void
+ProbeSet::renderSparklines(std::ostream &os, unsigned width) const
+{
+    static const char levels[] = " .:-=+*#%@";
+    const std::size_t n = _sampleCycles.size();
+    if (n == 0) {
+        os << "(no samples)\n";
+        return;
+    }
+    for (const auto &entry : _signals) {
+        const double lo =
+            *std::min_element(entry.samples.begin(),
+                              entry.samples.end());
+        const double hi =
+            *std::max_element(entry.samples.begin(),
+                              entry.samples.end());
+        std::string line(width, ' ');
+        for (unsigned x = 0; x < width; ++x) {
+            // Average the samples falling into this column.
+            const std::size_t first = std::size_t(x) * n / width;
+            const std::size_t last =
+                std::max(first + 1, std::size_t(x + 1) * n / width);
+            double sum = 0;
+            for (std::size_t i = first; i < last; ++i)
+                sum += entry.samples[i];
+            const double v = sum / double(last - first);
+            const double norm = hi > lo ? (v - lo) / (hi - lo)
+                                        : (v > 0 ? 1.0 : 0.0);
+            line[x] = levels[static_cast<unsigned>(norm * 9.0)];
+        }
+        os << "[" << line << "] " << entry.name << "  (min " << lo
+           << ", max " << hi << ")\n";
+    }
+}
+
+void
+ProbeSet::clear()
+{
+    _sampleCycles.clear();
+    for (auto &entry : _signals)
+        entry.samples.clear();
+}
+
+} // namespace beethoven

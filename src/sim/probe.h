@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Signal probing for the Simulation platform (Section II-D:
+ * "Beethoven provides a simulation platform for debugging and
+ * performance prediction").
+ *
+ * A ProbeSet samples named signals (arbitrary double-valued lambdas —
+ * queue occupancies, state-machine states, counters) every N cycles,
+ * keeps the traces in memory, and can render them as CSV (for offline
+ * waveform tooling) or as inline ASCII sparklines for quick looks at
+ * utilization over time.
+ */
+
+#ifndef BEETHOVEN_SIM_PROBE_H
+#define BEETHOVEN_SIM_PROBE_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/module.h"
+#include "sim/simulator.h"
+
+namespace beethoven
+{
+
+class ProbeSet : public Module
+{
+  public:
+    using Signal = std::function<double()>;
+
+    /**
+     * @param period  cycles between samples (>= 1)
+     */
+    ProbeSet(Simulator &sim, std::string name, Cycle period = 1);
+
+    /** Register a named signal; sampled on every period boundary. */
+    void add(std::string signal_name, Signal signal);
+
+    std::size_t numSignals() const { return _signals.size(); }
+    std::size_t numSamples() const { return _sampleCycles.size(); }
+
+    /** The recorded trace of signal @p idx. */
+    const std::vector<double> &trace(std::size_t idx) const;
+
+    /** Emit "cycle,sig1,sig2,..." rows. */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Render one sparkline row per signal, min-max normalized over the
+     * recorded window.
+     */
+    void renderSparklines(std::ostream &os, unsigned width = 72) const;
+
+    /** Drop all recorded samples (keep the signal list). */
+    void clear();
+
+    void tick() override;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Signal signal;
+        std::vector<double> samples;
+    };
+
+    Cycle _period;
+    std::vector<Entry> _signals;
+    std::vector<Cycle> _sampleCycles;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_SIM_PROBE_H

@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+namespace beethoven
+{
+
+Module::Module(Simulator &sim, std::string name)
+    : _sim(sim), _name(std::move(name))
+{
+    sim.registerModule(this);
+}
+
+void
+Simulator::step()
+{
+    for (Module *m : _modules)
+        m->tick();
+    for (Committable *c : _commits)
+        c->commit();
+    ++_cycle;
+}
+
+void
+Simulator::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace beethoven

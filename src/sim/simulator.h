@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The cycle-driven simulator that clocks an elaborated Beethoven SoC.
+ */
+
+#ifndef BEETHOVEN_SIM_SIMULATOR_H
+#define BEETHOVEN_SIM_SIMULATOR_H
+
+#include <functional>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/types.h"
+#include "sim/module.h"
+
+namespace beethoven
+{
+
+/**
+ * Clocks registered Modules and commits registered Committables.
+ *
+ * The simulator holds non-owning pointers; the elaborated SoC owns all
+ * modules and queues and must outlive simulation.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Register a module for ticking (called by Module's constructor). */
+    void registerModule(Module *m) { _modules.push_back(m); }
+
+    /** Register a queue (or other state) for end-of-cycle commits. */
+    void registerCommittable(Committable *c) { _commits.push_back(c); }
+
+    /** Advance one cycle: tick all modules, then commit all state. */
+    void step();
+
+    /** Advance @p n cycles. */
+    void run(Cycle n);
+
+    /**
+     * Step until @p done returns true or @p max_cycles elapse.
+     * @return true if the predicate was satisfied, false on timeout.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+
+    /** Current cycle (number of completed steps). */
+    Cycle cycle() const { return _cycle; }
+
+    /** Root statistics group for the simulated design. */
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    std::size_t numModules() const { return _modules.size(); }
+
+  private:
+    Cycle _cycle = 0;
+    std::vector<Module *> _modules;
+    std::vector<Committable *> _commits;
+    StatGroup _stats{"soc"};
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_SIM_SIMULATOR_H

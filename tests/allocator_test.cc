@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the device memory allocator: alignment, exhaustion,
+ * coalescing, error handling, and a randomized no-overlap property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/log.h"
+#include "base/rng.h"
+#include "runtime/allocator.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(Allocator, ReturnsAlignedAddresses)
+{
+    DeviceAllocator alloc(4096, 1_MiB, 64);
+    for (int i = 0; i < 20; ++i) {
+        const auto addr = alloc.allocate(1 + i * 13);
+        ASSERT_TRUE(addr.has_value());
+        EXPECT_EQ(*addr % 64, 0u);
+        EXPECT_GE(*addr, 4096u);
+    }
+}
+
+TEST(Allocator, ZeroByteRequestStillDistinct)
+{
+    DeviceAllocator alloc(0, 1_MiB);
+    const auto a = alloc.allocate(0);
+    const auto b = alloc.allocate(0);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt)
+{
+    DeviceAllocator alloc(0, 1024, 64);
+    EXPECT_TRUE(alloc.allocate(512).has_value());
+    EXPECT_TRUE(alloc.allocate(512).has_value());
+    EXPECT_FALSE(alloc.allocate(64).has_value());
+}
+
+TEST(Allocator, ReleaseMakesSpaceReusable)
+{
+    DeviceAllocator alloc(0, 1024, 64);
+    const auto a = alloc.allocate(1024);
+    ASSERT_TRUE(a);
+    EXPECT_FALSE(alloc.allocate(64).has_value());
+    alloc.release(*a);
+    EXPECT_TRUE(alloc.allocate(1024).has_value());
+}
+
+TEST(Allocator, CoalescingRestoresSingleFreeBlock)
+{
+    DeviceAllocator alloc(0, 4096, 64);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 8; ++i)
+        blocks.push_back(*alloc.allocate(512));
+    EXPECT_EQ(alloc.numFreeBlocks(), 0u);
+    // Free in a scrambled order; coalescing must merge everything.
+    for (int idx : {3, 0, 7, 1, 5, 2, 6, 4})
+        alloc.release(blocks[idx]);
+    EXPECT_EQ(alloc.numFreeBlocks(), 1u);
+    EXPECT_EQ(alloc.bytesAllocated(), 0u);
+    EXPECT_TRUE(alloc.allocate(4096).has_value());
+}
+
+TEST(Allocator, DoubleFreeIsFatal)
+{
+    DeviceAllocator alloc(0, 4096);
+    const auto a = alloc.allocate(128);
+    alloc.release(*a);
+    EXPECT_THROW(alloc.release(*a), ConfigError);
+}
+
+TEST(Allocator, WildFreeIsFatal)
+{
+    DeviceAllocator alloc(0, 4096);
+    EXPECT_THROW(alloc.release(12345), ConfigError);
+}
+
+TEST(Allocator, RejectsBadConstruction)
+{
+    EXPECT_THROW(DeviceAllocator(0, 1024, 63), ConfigError);
+    EXPECT_THROW(DeviceAllocator(32, 1024, 64), ConfigError);
+    EXPECT_THROW(DeviceAllocator(0, 0), ConfigError);
+}
+
+TEST(Allocator, TracksAllocationSizes)
+{
+    DeviceAllocator alloc(0, 4096, 64);
+    const auto a = alloc.allocate(100);
+    EXPECT_EQ(alloc.allocationSize(*a), 128u); // rounded to alignment
+    EXPECT_EQ(alloc.allocationSize(*a + 64), 0u);
+    EXPECT_EQ(alloc.numAllocations(), 1u);
+}
+
+TEST(Allocator, RandomizedNoOverlapProperty)
+{
+    DeviceAllocator alloc(4096, 8_MiB, 64);
+    Rng rng(31);
+    std::map<Addr, u64> live; // start -> size
+    for (int iter = 0; iter < 3000; ++iter) {
+        if (live.empty() || rng.nextBounded(3) != 0) {
+            const u64 size = 1 + rng.nextBounded(64_KiB);
+            const auto addr = alloc.allocate(size);
+            if (!addr)
+                continue;
+            const u64 actual = alloc.allocationSize(*addr);
+            // Check no overlap with any live block.
+            auto next = live.lower_bound(*addr);
+            if (next != live.end()) {
+                ASSERT_LE(*addr + actual, next->first);
+            }
+            if (next != live.begin()) {
+                auto prev = std::prev(next);
+                ASSERT_LE(prev->first + prev->second, *addr);
+            }
+            live[*addr] = actual;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.nextBounded(live.size()));
+            alloc.release(it->first);
+            live.erase(it);
+        }
+    }
+    // Cleanup: everything frees and coalesces.
+    for (const auto &[addr, size] : live)
+        alloc.release(addr);
+    EXPECT_EQ(alloc.bytesAllocated(), 0u);
+    EXPECT_EQ(alloc.numFreeBlocks(), 1u);
+}
+
+} // namespace
+} // namespace beethoven

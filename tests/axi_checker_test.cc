@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the AXI protocol checker itself: it must catch each class
+ * of violation (fabricated illegal streams) and accept legal ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axi/timeline.h"
+
+namespace beethoven
+{
+namespace
+{
+
+AxiEvent
+ev(Cycle c, AxiChannel ch, u32 id, u64 tag, u32 beats = 0,
+   bool last = false)
+{
+    AxiEvent e;
+    e.cycle = c;
+    e.channel = ch;
+    e.id = id;
+    e.tag = tag;
+    e.beats = beats;
+    e.last = last;
+    return e;
+}
+
+TEST(AxiChecker, AcceptsLegalRead)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AR, 1, 100, 2),
+        ev(5, AxiChannel::R, 1, 100, 0, false),
+        ev(6, AxiChannel::R, 1, 100, 0, true),
+    };
+    EXPECT_EQ(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, AcceptsLegalWrite)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AW, 2, 200, 2),
+        ev(0, AxiChannel::W, 2, 200, 0, false),
+        ev(1, AxiChannel::W, 2, 200, 0, true),
+        ev(9, AxiChannel::B, 2, 200),
+    };
+    EXPECT_EQ(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, CatchesOrphanReadBeat)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::R, 1, 100, 0, true),
+    };
+    EXPECT_NE(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, CatchesSameIdReorder)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AR, 1, 100, 1),
+        ev(1, AxiChannel::AR, 1, 101, 1),
+        // Younger transaction's data first: illegal on one ID.
+        ev(5, AxiChannel::R, 1, 101, 0, true),
+        ev(6, AxiChannel::R, 1, 100, 0, true),
+    };
+    const std::string err = checkAxiProtocol(events);
+    EXPECT_NE(err.find("same-ID ordering"), std::string::npos) << err;
+}
+
+TEST(AxiChecker, AllowsCrossIdReorder)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AR, 1, 100, 1),
+        ev(1, AxiChannel::AR, 2, 101, 1),
+        ev(5, AxiChannel::R, 2, 101, 0, true),
+        ev(6, AxiChannel::R, 1, 100, 0, true),
+    };
+    EXPECT_EQ(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, CatchesWrongLastFlag)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AR, 1, 100, 2),
+        ev(5, AxiChannel::R, 1, 100, 0, true), // last too early
+    };
+    EXPECT_NE(checkAxiProtocol(events).find("last"),
+              std::string::npos);
+}
+
+TEST(AxiChecker, CatchesMissingLastFlag)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AR, 1, 100, 1),
+        ev(5, AxiChannel::R, 1, 100, 0, false), // should be last
+    };
+    EXPECT_NE(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, CatchesEarlyWriteResponse)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::AW, 2, 200, 2),
+        ev(0, AxiChannel::W, 2, 200, 0, false),
+        ev(1, AxiChannel::B, 2, 200), // before the final W beat
+    };
+    EXPECT_NE(checkAxiProtocol(events).find("before final W"),
+              std::string::npos);
+}
+
+TEST(AxiChecker, CatchesOrphanWriteBeat)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::W, 2, 999, 0, true),
+    };
+    EXPECT_NE(checkAxiProtocol(events), "");
+}
+
+TEST(AxiChecker, CatchesOrphanB)
+{
+    std::vector<AxiEvent> events = {
+        ev(0, AxiChannel::B, 2, 999),
+    };
+    EXPECT_NE(checkAxiProtocol(events), "");
+}
+
+TEST(AxiTimeline, RenderProducesRowsPerTransaction)
+{
+    AxiTimeline tl;
+    tl.setEnabled(true);
+    tl.record(ev(0, AxiChannel::AR, 1, 100, 2));
+    tl.record(ev(5, AxiChannel::R, 1, 100, 0, false));
+    tl.record(ev(6, AxiChannel::R, 1, 100, 0, true));
+    tl.record(ev(2, AxiChannel::AW, 2, 200, 1));
+    tl.record(ev(2, AxiChannel::W, 2, 200, 0, true));
+    tl.record(ev(8, AxiChannel::B, 2, 200));
+    std::ostringstream os;
+    tl.render(os, 60);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("RD id=1"), std::string::npos);
+    EXPECT_NE(out.find("WR id=2"), std::string::npos);
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AxiTimeline, DisabledRecordsNothing)
+{
+    AxiTimeline tl;
+    tl.record(ev(0, AxiChannel::AR, 1, 100, 1));
+    EXPECT_TRUE(tl.events().empty());
+}
+
+} // namespace
+} // namespace beethoven

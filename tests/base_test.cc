@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for statistics, RNG determinism, logging behaviour, and type
+ * literals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/log.h"
+#include "base/rng.h"
+#include "base/stats.h"
+#include "base/types.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(SizeLiterals, Values)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(2_GiB, 2147483648ull);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatScalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    s++;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+    s.set(1.0);
+    EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    StatHistogram h;
+    h.configure(4, 10.0);
+    for (double v : {1.0, 5.0, 15.0, 25.0, 35.0, 1000.0})
+        h.sample(v);
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    const auto &b = h.buckets();
+    ASSERT_EQ(b.size(), 5u); // 4 + overflow
+    EXPECT_EQ(b[0], 2u);     // 1, 5
+    EXPECT_EQ(b[1], 1u);     // 15
+    EXPECT_EQ(b[2], 1u);     // 25
+    EXPECT_EQ(b[3], 1u);     // 35
+    EXPECT_EQ(b[4], 1u);     // 1000 overflows
+}
+
+TEST(Stats, GroupHierarchyAndLookup)
+{
+    StatGroup root("soc");
+    root.group("dram").scalar("rowHits") += 3;
+    root.group("dram").scalar("rowHits") += 2;
+    root.group("core0").group("reader").scalar("bytes") += 64;
+
+    const StatScalar *hits = root.findScalar("dram.rowHits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_DOUBLE_EQ(hits->value(), 5.0);
+    const StatScalar *bytes = root.findScalar("core0.reader.bytes");
+    ASSERT_NE(bytes, nullptr);
+    EXPECT_DOUBLE_EQ(bytes->value(), 64.0);
+    EXPECT_EQ(root.findScalar("nope.nothing"), nullptr);
+    EXPECT_EQ(root.findScalar("dram.missing"), nullptr);
+}
+
+TEST(Stats, DumpContainsDottedPaths)
+{
+    StatGroup root("soc");
+    root.group("mem").scalar("reads") += 7;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("soc.mem.reads = 7"), std::string::npos);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2u);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        const u64 v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(99);
+    std::array<unsigned, 8> buckets{};
+    for (int i = 0; i < 8000; ++i)
+        ++buckets[rng.nextBounded(8)];
+    for (unsigned count : buckets) {
+        EXPECT_GT(count, 800u);
+        EXPECT_LT(count, 1200u);
+    }
+}
+
+TEST(Log, FatalThrowsConfigError)
+{
+    EXPECT_THROW(fatal("user misconfigured %s", "something"),
+                 ConfigError);
+    try {
+        fatal("value %d too large", 99);
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("value 99 too large"),
+                  std::string::npos);
+    }
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    beethoven_assert(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace beethoven

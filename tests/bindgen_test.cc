@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the binding generator: signatures, argument typing,
+ * remote_ptr handling for Address() fields, and multi-system output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/vecadd.h"
+#include "bindgen/bindgen.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(Bindgen, FieldTypesFollowWidths)
+{
+    EXPECT_EQ(fieldArgType(CommandField::uint("a", 1)), "uint8_t");
+    EXPECT_EQ(fieldArgType(CommandField::uint("a", 8)), "uint8_t");
+    EXPECT_EQ(fieldArgType(CommandField::uint("a", 9)), "uint16_t");
+    EXPECT_EQ(fieldArgType(CommandField::uint("a", 20)), "uint32_t");
+    EXPECT_EQ(fieldArgType(CommandField::uint("a", 33)), "uint64_t");
+    EXPECT_EQ(fieldArgType(CommandField::address("a")),
+              "const ::beethoven::remote_ptr &");
+}
+
+TEST(Bindgen, HeaderMatchesFig3b)
+{
+    const auto sys = VecAddCore::systemConfig(1);
+    const std::string header = generateBindingsHeader(sys);
+    // namespace MyAcceleratorSystem { response_handle<...> my_accel(...) }
+    EXPECT_NE(header.find("namespace MyAcceleratorSystem"),
+              std::string::npos);
+    EXPECT_NE(header.find("my_accel"), std::string::npos);
+    EXPECT_NE(header.find("int16_t core_idx"), std::string::npos);
+    EXPECT_NE(header.find("uint32_t addend"), std::string::npos);
+    EXPECT_NE(header.find("const ::beethoven::remote_ptr & vec_addr"),
+              std::string::npos);
+    EXPECT_NE(header.find("uint32_t n_eles"), std::string::npos);
+    EXPECT_NE(header.find("response_handle<uint64_t>"),
+              std::string::npos);
+}
+
+TEST(Bindgen, SourcePacksThroughInvoke)
+{
+    const auto sys = VecAddCore::systemConfig(1);
+    const std::string source =
+        generateBindingsSource(sys, "bindings.h");
+    EXPECT_NE(source.find("#include \"bindings.h\""),
+              std::string::npos);
+    EXPECT_NE(source.find("handle.invoke(\"MyAcceleratorSystem\", "
+                          "\"my_accel\""),
+              std::string::npos);
+    EXPECT_NE(source.find("vec_addr.getFpgaAddr()"),
+              std::string::npos);
+    EXPECT_NE(source.find("static_cast<uint64_t>(addend)"),
+              std::string::npos);
+}
+
+TEST(Bindgen, MultiSystemConfigsEmitAllNamespaces)
+{
+    AcceleratorConfig cfg;
+    auto a = VecAddCore::systemConfig(1);
+    a.name = "SystemA";
+    auto b = VecAddCore::systemConfig(1);
+    b.name = "SystemB";
+    cfg.systems.push_back(a);
+    cfg.systems.push_back(b);
+    cfg.name = "Duo";
+    const auto out = generateBindings(cfg);
+    EXPECT_EQ(out.headerName, "Duo_bindings.h");
+    EXPECT_NE(out.header.find("namespace SystemA"), std::string::npos);
+    EXPECT_NE(out.header.find("namespace SystemB"), std::string::npos);
+    EXPECT_NE(out.source.find("\"SystemA\""), std::string::npos);
+    EXPECT_NE(out.source.find("\"SystemB\""), std::string::npos);
+}
+
+TEST(Bindgen, MultipleCommandsPerSystem)
+{
+    AcceleratorSystemConfig sys;
+    sys.name = "Multi";
+    sys.nCores = 1;
+    sys.commands.push_back(
+        CommandSpec("first", {CommandField::uint("x", 16)}));
+    sys.commands.push_back(
+        CommandSpec("second", {CommandField::address("p")}));
+    const std::string header = generateBindingsHeader(sys);
+    EXPECT_NE(header.find("first"), std::string::npos);
+    EXPECT_NE(header.find("second"), std::string::npos);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit and property tests for bit utilities and BitVector — the
+ * foundation of RoCC payload packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bits.h"
+#include "base/rng.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(32), 0xFFFFFFFFull);
+    EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(mask(64), ~u64(0));
+}
+
+TEST(Bits, ExtractInsert)
+{
+    const u64 v = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(bits(v, 0, 16), 0xF00Dull);
+    EXPECT_EQ(bits(v, 16, 16), 0xCAFEull);
+    EXPECT_EQ(bits(v, 32, 32), 0xDEADBEEFull);
+    EXPECT_EQ(insertBits(0, 8, 8, 0xAB), 0xAB00ull);
+    // Inserting must not disturb neighbours.
+    EXPECT_EQ(insertBits(v, 16, 16, 0x1234),
+              0xDEADBEEF1234F00Dull);
+    // Oversized fields are truncated to the field width.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xFF), 0xFull);
+}
+
+TEST(Bits, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(divCeil(0, 3), 0u);
+    EXPECT_EQ(divCeil(1, 3), 1u);
+    EXPECT_EQ(divCeil(3, 3), 1u);
+    EXPECT_EQ(divCeil(4, 3), 2u);
+}
+
+TEST(BitVector, BasicSetGet)
+{
+    BitVector bv(100);
+    bv.setBits(0, 8, 0xAB);
+    bv.setBits(90, 10, 0x3FF);
+    EXPECT_EQ(bv.getBits(0, 8), 0xABull);
+    EXPECT_EQ(bv.getBits(90, 10), 0x3FFull);
+    EXPECT_EQ(bv.getBits(8, 16), 0ull);
+}
+
+TEST(BitVector, CrossWordBoundary)
+{
+    BitVector bv(128);
+    bv.setBits(60, 16, 0xBEEF);
+    EXPECT_EQ(bv.getBits(60, 16), 0xBEEFull);
+    // The straddle must land in both words consistently.
+    EXPECT_EQ(bv.word(0) >> 60, 0xBEEFull & 0xF);
+    EXPECT_EQ(bv.word(1) & mask(12), 0xBEEFull >> 4);
+}
+
+TEST(BitVector, FullWidth64BitField)
+{
+    BitVector bv(200);
+    bv.setBits(70, 64, 0x0123456789ABCDEFull);
+    EXPECT_EQ(bv.getBits(70, 64), 0x0123456789ABCDEFull);
+}
+
+TEST(BitVector, ResizePreservesAndTruncates)
+{
+    BitVector bv(64);
+    bv.setBits(0, 64, ~u64(0));
+    bv.resize(40);
+    EXPECT_EQ(bv.getBits(0, 40), mask(40));
+    bv.resize(64);
+    EXPECT_EQ(bv.getBits(0, 64), mask(40));
+}
+
+TEST(BitVector, WordAccess)
+{
+    BitVector bv(130);
+    bv.setWord(0, 0x1111111111111111ull);
+    bv.setWord(1, 0x2222222222222222ull);
+    bv.setWord(2, ~u64(0)); // truncated to 2 bits
+    EXPECT_EQ(bv.word(0), 0x1111111111111111ull);
+    EXPECT_EQ(bv.word(2), 0x3ull);
+    EXPECT_EQ(bv.word(5), 0ull); // out-of-range words read as zero
+}
+
+TEST(BitVector, Equality)
+{
+    BitVector a(70), b(70);
+    EXPECT_TRUE(a == b);
+    a.setBits(69, 1, 1);
+    EXPECT_FALSE(a == b);
+    b.setBits(69, 1, 1);
+    EXPECT_TRUE(a == b);
+}
+
+/** Property: random non-overlapping fields round-trip exactly. */
+class BitVectorFuzz : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(BitVectorFuzz, RandomFieldRoundTrip)
+{
+    Rng rng(GetParam());
+    const std::size_t total = 64 + rng.nextBounded(512);
+    BitVector bv(total);
+
+    struct Field
+    {
+        std::size_t offset;
+        unsigned bits;
+        u64 value;
+    };
+    std::vector<Field> fields;
+    std::size_t offset = 0;
+    while (offset < total) {
+        const unsigned width = static_cast<unsigned>(
+            1 + rng.nextBounded(std::min<u64>(64, total - offset)));
+        const u64 value = rng.next() & mask(width);
+        bv.setBits(offset, width, value);
+        fields.push_back({offset, width, value});
+        offset += width;
+    }
+    for (const auto &f : fields)
+        ASSERT_EQ(bv.getBits(f.offset, f.bits), f.value)
+            << "offset=" << f.offset << " bits=" << f.bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+} // namespace
+} // namespace beethoven

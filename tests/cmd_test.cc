@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the command subsystem: RoCC field packing, CommandSpec
+ * payload round-trips (including multi-beat commands), the core-side
+ * assembler, and the MMIO front-end register protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "cmd/command_spec.h"
+#include "cmd/mmio.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(RoccCommand, FieldRoundTrips)
+{
+    RoccCommand cmd;
+    cmd.setOpcode(RoccCommand::customOpcode);
+    cmd.setRd(17);
+    cmd.setXd(true);
+    cmd.setSystemId(9);
+    cmd.setCommandId(5);
+    cmd.setCoreId(777);
+    EXPECT_EQ(cmd.opcode(), RoccCommand::customOpcode);
+    EXPECT_EQ(cmd.rd(), 17u);
+    EXPECT_TRUE(cmd.xd());
+    EXPECT_EQ(cmd.systemId(), 9u);
+    EXPECT_EQ(cmd.commandId(), 5u);
+    EXPECT_EQ(cmd.coreId(), 777u);
+}
+
+TEST(RoccCommand, FieldsDoNotInterfere)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        RoccCommand cmd;
+        const u32 rd = static_cast<u32>(rng.nextBounded(32));
+        const u32 sys = static_cast<u32>(
+            rng.nextBounded(RoccCommand::maxSystems));
+        const u32 cid = static_cast<u32>(
+            rng.nextBounded(RoccCommand::maxCommands));
+        const u32 core = static_cast<u32>(
+            rng.nextBounded(RoccCommand::maxCores));
+        cmd.setOpcode(RoccCommand::customOpcode);
+        cmd.setRd(rd);
+        cmd.setSystemId(sys);
+        cmd.setCommandId(cid);
+        cmd.setCoreId(core);
+        cmd.setXd(core % 2 == 0);
+        ASSERT_EQ(cmd.rd(), rd);
+        ASSERT_EQ(cmd.systemId(), sys);
+        ASSERT_EQ(cmd.commandId(), cid);
+        ASSERT_EQ(cmd.coreId(), core);
+        ASSERT_EQ(cmd.xd(), core % 2 == 0);
+    }
+}
+
+TEST(CommandSpec, SingleBeatForSmallPayloads)
+{
+    CommandSpec spec("small",
+                     {CommandField::uint("a", 32),
+                      CommandField::uint("b", 20)});
+    EXPECT_EQ(spec.payloadBits(), 52u);
+    EXPECT_EQ(spec.numBeats(), 1u);
+}
+
+TEST(CommandSpec, MultiBeatForLargePayloads)
+{
+    // 3 x 64 = 192 bits > 128: two beats.
+    CommandSpec spec("large",
+                     {CommandField::uint("a", 64),
+                      CommandField::uint("b", 64),
+                      CommandField::uint("c", 64)});
+    EXPECT_EQ(spec.numBeats(), 2u);
+    // Only the final beat carries xd.
+    const auto beats = spec.pack(1, 2, 3, 4, {1, 2, 3});
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_FALSE(beats[0].xd());
+    EXPECT_TRUE(beats[1].xd());
+    // Routing is stamped on every beat.
+    for (const auto &b : beats) {
+        EXPECT_EQ(b.systemId(), 1u);
+        EXPECT_EQ(b.coreId(), 2u);
+        EXPECT_EQ(b.commandId(), 3u);
+        EXPECT_EQ(b.rd(), 4u);
+    }
+}
+
+TEST(CommandSpec, EmptyPayloadStillOneBeat)
+{
+    CommandSpec spec("empty", {});
+    EXPECT_EQ(spec.numBeats(), 1u);
+    const auto beats = spec.pack(0, 0, 0, 0, {});
+    ASSERT_EQ(beats.size(), 1u);
+    EXPECT_TRUE(beats[0].xd());
+}
+
+TEST(CommandSpec, PackUnpackRoundTrip)
+{
+    Rng rng(21);
+    for (int iter = 0; iter < 100; ++iter) {
+        // Random field layout up to 4 beats.
+        std::vector<CommandField> fields;
+        unsigned total = 0;
+        while (total < 300 && fields.size() < 12) {
+            const unsigned width =
+                1 + static_cast<unsigned>(rng.nextBounded(64));
+            fields.push_back(CommandField::uint(
+                "f" + std::to_string(fields.size()), width));
+            total += width;
+        }
+        CommandSpec spec("fuzz", fields);
+        std::vector<u64> values;
+        for (const auto &f : fields)
+            values.push_back(rng.next() & mask(f.bits));
+        const auto beats = spec.pack(3, 7, 1, 9, values);
+        ASSERT_EQ(beats.size(), spec.numBeats());
+        ASSERT_EQ(spec.unpack(beats), values) << "iteration " << iter;
+    }
+}
+
+TEST(CommandSpec, RejectsBadConfigs)
+{
+    EXPECT_THROW(CommandSpec("", {}), ConfigError);
+    EXPECT_THROW(
+        CommandSpec("x", {CommandField::uint("huge", 65)}),
+        ConfigError);
+    EXPECT_THROW(
+        CommandSpec("x", {CommandField::uint("zero", 0)}),
+        ConfigError);
+    EXPECT_THROW(CommandSpec("x", {}, /*resp_bits=*/65), ConfigError);
+}
+
+TEST(CommandSpec, RejectsBadPackArguments)
+{
+    CommandSpec spec("s", {CommandField::uint("a", 8)});
+    EXPECT_THROW(spec.pack(0, 0, 0, 0, {}), ConfigError);
+    EXPECT_THROW(spec.pack(0, 0, 0, 0, {0x100}), ConfigError);
+    EXPECT_THROW(spec.pack(99, 0, 0, 0, {1}), ConfigError);
+    EXPECT_THROW(spec.pack(0, 0, 99, 0, {1}), ConfigError);
+    EXPECT_THROW(spec.pack(0, 9999, 0, 0, {1}), ConfigError);
+}
+
+TEST(CommandAssembler, AccumulatesMultiBeatCommands)
+{
+    CommandSpec spec("big", {CommandField::uint("a", 64),
+                             CommandField::uint("b", 64),
+                             CommandField::uint("c", 40)});
+    CommandAssembler assembler(spec);
+    const std::vector<u64> values = {0xAAAAAAAAAAAAAAAAull,
+                                     0x5555555555555555ull, 0x123456789ull};
+    const auto beats = spec.pack(0, 0, 0, 11, values);
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_FALSE(assembler.feed(beats[0]));
+    ASSERT_TRUE(assembler.feed(beats[1]));
+    EXPECT_EQ(assembler.args(), values);
+    EXPECT_EQ(assembler.rd(), 11u);
+    EXPECT_TRUE(assembler.expectsResponse());
+
+    // The assembler resets for the next command.
+    const auto again = spec.pack(0, 0, 0, 12, values);
+    EXPECT_FALSE(assembler.feed(again[0]));
+    EXPECT_TRUE(assembler.feed(again[1]));
+    EXPECT_EQ(assembler.rd(), 12u);
+}
+
+// --- MMIO front-end ---------------------------------------------------
+
+struct MmioHarness
+{
+    Simulator sim;
+    MmioCommandSystem mmio{sim, "mmio"};
+};
+
+TEST(Mmio, CommandSubmissionProtocol)
+{
+    MmioHarness h;
+    EXPECT_EQ(h.mmio.read32(mmio_regs::cmdReady), 1u);
+
+    RoccCommand cmd;
+    cmd.setOpcode(RoccCommand::customOpcode);
+    cmd.setSystemId(2);
+    cmd.setCoreId(5);
+    cmd.rs1 = 0x1122334455667788ull;
+    cmd.rs2 = 0x99AABBCCDDEEFF00ull;
+
+    h.mmio.write32(mmio_regs::cmdBits, cmd.inst);
+    h.mmio.write32(mmio_regs::cmdBits, static_cast<u32>(cmd.rs1));
+    h.mmio.write32(mmio_regs::cmdBits,
+                   static_cast<u32>(cmd.rs1 >> 32));
+    h.mmio.write32(mmio_regs::cmdBits, static_cast<u32>(cmd.rs2));
+    h.mmio.write32(mmio_regs::cmdBits,
+                   static_cast<u32>(cmd.rs2 >> 32));
+    h.mmio.write32(mmio_regs::cmdValid, 1);
+    h.sim.run(3);
+
+    ASSERT_TRUE(h.mmio.cmdOut().canPop());
+    const RoccCommand out = h.mmio.cmdOut().pop();
+    EXPECT_EQ(out.inst, cmd.inst);
+    EXPECT_EQ(out.rs1, cmd.rs1);
+    EXPECT_EQ(out.rs2, cmd.rs2);
+}
+
+TEST(Mmio, IncompleteStageIsDropped)
+{
+    MmioHarness h;
+    h.mmio.write32(mmio_regs::cmdBits, 123);
+    h.mmio.write32(mmio_regs::cmdValid, 1); // only 1/5 words staged
+    h.sim.run(3);
+    EXPECT_FALSE(h.mmio.cmdOut().canPop());
+    EXPECT_EQ(h.mmio.read32(mmio_regs::cmdReady), 1u);
+}
+
+TEST(Mmio, ResponseDrainProtocol)
+{
+    MmioHarness h;
+    EXPECT_EQ(h.mmio.read32(mmio_regs::respValid), 0u);
+    RoccResponse resp;
+    resp.systemId = 3;
+    resp.coreId = 17;
+    resp.rd = 4;
+    resp.data = 0xCAFEF00D12345678ull;
+    h.mmio.respIn().push(resp);
+    h.sim.run(3);
+
+    ASSERT_EQ(h.mmio.read32(mmio_regs::respValid), 1u);
+    const u32 lo = h.mmio.read32(mmio_regs::respBits);
+    const u32 hi = h.mmio.read32(mmio_regs::respBits);
+    const u32 route = h.mmio.read32(mmio_regs::respBits);
+    EXPECT_EQ(u64(lo) | (u64(hi) << 32), resp.data);
+    EXPECT_EQ(route >> 16, 3u);
+    EXPECT_EQ((route >> 5) & 0x3FF, 17u);
+    EXPECT_EQ(route & 0x1F, 4u);
+    h.mmio.write32(mmio_regs::respReady, 1);
+    EXPECT_EQ(h.mmio.read32(mmio_regs::respValid), 0u);
+}
+
+TEST(Mmio, BackpressureWhenCommandQueueFull)
+{
+    MmioHarness h;
+    // Fill the command queue without draining it.
+    auto submit = [&] {
+        for (int w = 0; w < 5; ++w)
+            h.mmio.write32(mmio_regs::cmdBits, w);
+        h.mmio.write32(mmio_regs::cmdValid, 1);
+        h.sim.run(2);
+    };
+    unsigned accepted = 0;
+    while (h.mmio.read32(mmio_regs::cmdReady) == 1 && accepted < 20) {
+        submit();
+        ++accepted;
+    }
+    EXPECT_GT(accepted, 0u);
+    EXPECT_LT(accepted, 20u) << "CMD_READY never deasserted";
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the SLR-aware floorplanner: placement balance, shell
+ * affinity, capacity enforcement, the 80 % spill rule (with and
+ * without congestion derating), and constraint emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "floorplan/floorplan.h"
+#include "platform/aws_f1.h"
+
+namespace beethoven
+{
+namespace
+{
+
+std::vector<SlrDescriptor>
+threeCleanSlrs()
+{
+    std::vector<SlrDescriptor> slrs(3);
+    for (unsigned s = 0; s < 3; ++s) {
+        slrs[s].name = "SLR" + std::to_string(s);
+        slrs[s].capacity = {10000, 100000, 200000, 100, 50, 0, 0};
+    }
+    return slrs;
+}
+
+TEST(Floorplanner, BalancesAcrossIdenticalSlrs)
+{
+    Floorplanner fp(threeCleanSlrs());
+    ResourceVec core;
+    core.lut = 10000;
+    core.clb = 1000;
+    std::array<unsigned, 3> count{};
+    for (int i = 0; i < 9; ++i)
+        ++count[fp.placeCore("c" + std::to_string(i), core)];
+    EXPECT_EQ(count[0], 3u);
+    EXPECT_EQ(count[1], 3u);
+    EXPECT_EQ(count[2], 3u);
+}
+
+TEST(Floorplanner, AvoidsShellOccupiedSlrs)
+{
+    auto slrs = threeCleanSlrs();
+    slrs[0].shellFootprint.lut = 60000;
+    slrs[0].shellFootprint.clb = 6000;
+    Floorplanner fp(slrs);
+    ResourceVec core;
+    core.lut = 10000;
+    core.clb = 1000;
+    std::array<unsigned, 3> count{};
+    for (int i = 0; i < 9; ++i)
+        ++count[fp.placeCore("c" + std::to_string(i), core)];
+    EXPECT_LT(count[0], count[2])
+        << "shell-occupied SLR should receive fewer cores";
+}
+
+TEST(Floorplanner, FatalWhenNothingFits)
+{
+    Floorplanner fp(threeCleanSlrs());
+    ResourceVec huge;
+    huge.lut = 200000;
+    EXPECT_THROW(fp.placeCore("giant", huge), ConfigError);
+}
+
+TEST(Floorplanner, FillsToCapacityThenFails)
+{
+    Floorplanner fp(threeCleanSlrs());
+    ResourceVec core;
+    core.lut = 50000; // two per SLR
+    for (int i = 0; i < 6; ++i)
+        fp.placeCore("c" + std::to_string(i), core);
+    EXPECT_THROW(fp.placeCore("extra", core), ConfigError);
+}
+
+TEST(Floorplanner, SpillRuleSwitchesToUramPast80Percent)
+{
+    auto slrs = threeCleanSlrs();
+    Floorplanner fp({slrs[0]}); // single SLR: 100 BRAM, 50 URAM
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+
+    // Each 512x320 memory costs 7.5 BRAM; 80% of 100 = 80 blocks.
+    unsigned bram_mapped = 0, uram_mapped = 0;
+    for (int i = 0; i < 12; ++i) {
+        const auto m = fp.mapMemory(0, lib, MemoryCellKind::Bram, 512,
+                                    320, 1);
+        if (m.resources.bram > 0)
+            ++bram_mapped;
+        else
+            ++uram_mapped;
+    }
+    // 10 fit under 80% (75 blocks), the 11th would cross -> URAM.
+    EXPECT_EQ(bram_mapped, 10u);
+    EXPECT_EQ(uram_mapped, 2u);
+}
+
+TEST(Floorplanner, DerateLowersTheSpillPoint)
+{
+    auto slrs = threeCleanSlrs();
+    Floorplanner fp({slrs[0]}, /*memory_derate=*/0.5);
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    // 80% of the derated 50 blocks = 40 -> exactly 5 x 7.5-block
+    // memories map to BRAM before the first spill to URAM. (Once both
+    // families run hot the rule alternates toward the lower relative
+    // utilization, so we only check the first six mappings.)
+    for (int i = 0; i < 5; ++i) {
+        const auto m = fp.mapMemory(0, lib, MemoryCellKind::Bram, 512,
+                                    320, 1);
+        EXPECT_GT(m.resources.bram, 0.0) << "mapping " << i;
+    }
+    const auto sixth =
+        fp.mapMemory(0, lib, MemoryCellKind::Bram, 512, 320, 1);
+    EXPECT_GT(sixth.resources.uram, 0.0)
+        << "sixth mapping must spill to URAM under derating";
+}
+
+TEST(Floorplanner, AsicMappingUsesSram)
+{
+    SlrDescriptor die;
+    die.name = "DIE0";
+    die.capacity.sramMacros = 100;
+    die.capacity.lut = 1e6;
+    die.capacity.clb = 1e6;
+    die.capacity.ff = 1e6;
+    Floorplanner fp({die});
+    const auto lib = MemoryCellLibrary::asap7();
+    const auto m =
+        fp.mapMemory(0, lib, MemoryCellKind::AsicSram, 128, 512, 1);
+    EXPECT_GT(m.resources.sramMacros, 0.0);
+    EXPECT_GT(fp.used(0).sramMacros, 0.0);
+}
+
+TEST(Floorplanner, UtilizationAccessors)
+{
+    Floorplanner fp(threeCleanSlrs());
+    ResourceVec r;
+    r.bram = 50;
+    r.lut = 50000;
+    r.clb = 5000;
+    fp.charge(1, r);
+    EXPECT_DOUBLE_EQ(fp.bramUtilization(1), 0.5);
+    EXPECT_DOUBLE_EQ(fp.lutUtilization(1), 0.5);
+    EXPECT_DOUBLE_EQ(fp.clbUtilization(1), 0.5);
+    EXPECT_DOUBLE_EQ(fp.bramUtilization(0), 0.0);
+    EXPECT_DOUBLE_EQ(fp.totalUsed().bram, 50.0);
+}
+
+TEST(Floorplanner, EmitsConstraintsForEveryCore)
+{
+    Floorplanner fp(threeCleanSlrs());
+    ResourceVec core;
+    core.lut = 1000;
+    fp.placeCore("sys_core0", core);
+    fp.placeCore("sys_core1", core);
+    std::ostringstream os;
+    fp.emitConstraints(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("create_pblock pblock_SLR0"),
+              std::string::npos);
+    EXPECT_NE(text.find("sys_core0"), std::string::npos);
+    EXPECT_NE(text.find("sys_core1"), std::string::npos);
+    EXPECT_NE(text.find("add_cells_to_pblock"), std::string::npos);
+}
+
+TEST(Platforms, DescriptorsAreSane)
+{
+    AwsF1Platform f1;
+    const auto slrs = f1.slrs();
+    ASSERT_EQ(slrs.size(), 3u);
+    for (const auto &slr : slrs) {
+        EXPECT_GT(slr.capacity.lut, 0.0);
+        EXPECT_TRUE(slr.available().fitsWithin(slr.capacity));
+    }
+    EXPECT_TRUE(slrs[0].hasHostInterface);
+    EXPECT_GT(f1.clockMHz(), 0.0);
+    EXPECT_GT(f1.memoryConfig().dataBytes, 0u);
+    EXPECT_GT(f1.powerModel().watts(slrs[0].capacity), 0.0);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Functional tests for the MachSuite accelerator cores against the
+ * golden software references, end-to-end through the runtime stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/machsuite/gemm.h"
+#include "accel/machsuite/md_knn.h"
+#include "accel/machsuite/nw.h"
+#include "accel/machsuite/stencil.h"
+#include "accel/machsuite/workloads.h"
+#include "base/rng.h"
+#include "baselines/machsuite_golden.h"
+#include "platform/sim_platform.h"
+#include "runtime/fpga_handle.h"
+
+namespace beethoven
+{
+namespace
+{
+
+using namespace machsuite;
+
+struct Harness
+{
+    SimulationPlatform platform;
+    AcceleratorSoc soc;
+    RuntimeServer server;
+    fpga_handle_t handle;
+
+    explicit Harness(AcceleratorSystemConfig sys)
+        : soc(AcceleratorConfig(std::move(sys)), platform),
+          server(soc),
+          handle(server)
+    {}
+};
+
+TEST(MachSuiteGemm, MatchesGolden)
+{
+    for (unsigned n : {16u, 32u, 64u}) {
+        Harness h(GemmCore::systemConfig(1));
+        Rng rng(n);
+        std::vector<i32> a(n * n), bt(n * n);
+        for (auto &v : a)
+            v = static_cast<i32>(rng.nextRange(0, 2000)) - 1000;
+        for (auto &v : bt)
+            v = static_cast<i32>(rng.nextRange(0, 2000)) - 1000;
+
+        remote_ptr a_mem = h.handle.malloc(n * n * 4);
+        remote_ptr bt_mem = h.handle.malloc(n * n * 4);
+        remote_ptr c_mem = h.handle.malloc(n * n * 4);
+        std::memcpy(a_mem.getHostAddr(), a.data(), n * n * 4);
+        std::memcpy(bt_mem.getHostAddr(), bt.data(), n * n * 4);
+        h.handle.copy_to_fpga(a_mem);
+        h.handle.copy_to_fpga(bt_mem);
+
+        h.handle
+            .invoke("GemmSystem", "gemm", 0,
+                    {a_mem.getFpgaAddr(), bt_mem.getFpgaAddr(),
+                     c_mem.getFpgaAddr(), n})
+            .get();
+        h.handle.copy_from_fpga(c_mem);
+
+        const auto golden = goldenGemm(a, bt, n);
+        const i32 *c = c_mem.as<i32>();
+        for (unsigned i = 0; i < n * n; ++i)
+            ASSERT_EQ(c[i], golden[i]) << "n=" << n << " idx=" << i;
+    }
+}
+
+TEST(MachSuiteNw, MatchesGolden)
+{
+    for (unsigned n : {4u, 16u, 64u, 256u}) {
+        Harness h(NwCore::systemConfig(1));
+        Rng rng(n * 7 + 1);
+        std::vector<u8> a(n), b(n);
+        const char alphabet[] = "ACGT";
+        for (auto &ch : a)
+            ch = alphabet[rng.nextBounded(4)];
+        for (auto &ch : b)
+            ch = alphabet[rng.nextBounded(4)];
+
+        remote_ptr a_mem = h.handle.malloc(n);
+        remote_ptr b_mem = h.handle.malloc(n);
+        remote_ptr out_mem = h.handle.malloc((n + 1) * 4);
+        std::memcpy(a_mem.getHostAddr(), a.data(), n);
+        std::memcpy(b_mem.getHostAddr(), b.data(), n);
+        h.handle.copy_to_fpga(a_mem);
+        h.handle.copy_to_fpga(b_mem);
+
+        h.handle
+            .invoke("NwSystem", "nw", 0,
+                    {a_mem.getFpgaAddr(), b_mem.getFpgaAddr(),
+                     out_mem.getFpgaAddr(), n})
+            .get();
+        h.handle.copy_from_fpga(out_mem);
+
+        const auto golden = goldenNw(a, b, n);
+        const i32 *out = out_mem.as<i32>();
+        for (unsigned j = 0; j <= n; ++j)
+            ASSERT_EQ(out[j], golden[j]) << "n=" << n << " j=" << j;
+    }
+}
+
+TEST(MachSuiteStencil2d, MatchesGolden)
+{
+    const unsigned rows = 24, cols = 32;
+    Harness h(Stencil2dCore::systemConfig(1));
+    Rng rng(42);
+    std::vector<i32> in(rows * cols);
+    for (auto &v : in)
+        v = static_cast<i32>(rng.nextRange(0, 200)) - 100;
+
+    remote_ptr in_mem = h.handle.malloc(rows * cols * 4);
+    remote_ptr out_mem = h.handle.malloc(rows * cols * 4);
+    std::memcpy(in_mem.getHostAddr(), in.data(), rows * cols * 4);
+    h.handle.copy_to_fpga(in_mem);
+
+    h.handle
+        .invoke("Stencil2dSystem", "stencil2d", 0,
+                {in_mem.getFpgaAddr(), out_mem.getFpgaAddr(), rows,
+                 cols})
+        .get();
+    h.handle.copy_from_fpga(out_mem);
+
+    const auto golden = goldenStencil2d(in, rows, cols);
+    const i32 *out = out_mem.as<i32>();
+    for (unsigned i = 0; i < rows * cols; ++i)
+        ASSERT_EQ(out[i], golden[i]) << "idx=" << i;
+}
+
+TEST(MachSuiteStencil3d, MatchesGolden)
+{
+    const unsigned n = 8;
+    Harness h(Stencil3dCore::systemConfig(1));
+    Rng rng(7);
+    std::vector<i32> in(n * n * n);
+    for (auto &v : in)
+        v = static_cast<i32>(rng.nextRange(0, 200)) - 100;
+
+    remote_ptr in_mem = h.handle.malloc(n * n * n * 4);
+    remote_ptr out_mem = h.handle.malloc(n * n * n * 4);
+    std::memcpy(in_mem.getHostAddr(), in.data(), n * n * n * 4);
+    h.handle.copy_to_fpga(in_mem);
+
+    h.handle
+        .invoke("Stencil3dSystem", "stencil3d", 0,
+                {in_mem.getFpgaAddr(), out_mem.getFpgaAddr(), n})
+        .get();
+    h.handle.copy_from_fpga(out_mem);
+
+    const auto golden = goldenStencil3d(in, n);
+    const i32 *out = out_mem.as<i32>();
+    for (unsigned i = 0; i < n * n * n; ++i)
+        ASSERT_EQ(out[i], golden[i]) << "idx=" << i;
+}
+
+TEST(MachSuiteMdKnn, MatchesGolden)
+{
+    const unsigned n = 64, k = 8;
+    Harness h(MdKnnCore::systemConfig(1));
+    Rng rng(99);
+    std::vector<double> pos(3 * n);
+    for (auto &v : pos)
+        v = 1.0 + rng.nextDouble() * 10.0;
+    std::vector<i32> nl(n * k);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < k; ++j) {
+            u32 nb;
+            do {
+                nb = static_cast<u32>(rng.nextBounded(n));
+            } while (nb == i);
+            nl[i * k + j] = static_cast<i32>(nb);
+        }
+    }
+
+    // Positions are stored one atom per 32-byte row.
+    remote_ptr pos_mem = h.handle.malloc(n * 32);
+    remote_ptr nl_mem = h.handle.malloc(n * k * 4);
+    remote_ptr force_mem = h.handle.malloc(n * 32);
+    for (unsigned i = 0; i < n; ++i) {
+        std::memcpy(pos_mem.getHostAddr() + i * 32, &pos[3 * i], 24);
+    }
+    std::memcpy(nl_mem.getHostAddr(), nl.data(), n * k * 4);
+    h.handle.copy_to_fpga(pos_mem);
+    h.handle.copy_to_fpga(nl_mem);
+
+    h.handle
+        .invoke("MdKnnSystem", "md_knn", 0,
+                {pos_mem.getFpgaAddr(), nl_mem.getFpgaAddr(),
+                 force_mem.getFpgaAddr(), n, k})
+        .get();
+    h.handle.copy_from_fpga(force_mem);
+
+    const auto golden = goldenMdKnn(pos, nl, n, k);
+    for (unsigned i = 0; i < n; ++i) {
+        double fx, fy, fz;
+        std::memcpy(&fx, force_mem.getHostAddr() + i * 32, 8);
+        std::memcpy(&fy, force_mem.getHostAddr() + i * 32 + 8, 8);
+        std::memcpy(&fz, force_mem.getHostAddr() + i * 32 + 16, 8);
+        ASSERT_EQ(fx, golden[3 * i]) << "atom " << i;
+        ASSERT_EQ(fy, golden[3 * i + 1]) << "atom " << i;
+        ASSERT_EQ(fz, golden[3 * i + 2]) << "atom " << i;
+    }
+}
+
+TEST(MachSuiteWorkloads, Table1Registry)
+{
+    const auto &w = table1Workloads();
+    ASSERT_EQ(w.size(), 5u);
+    EXPECT_EQ(w[0].name, "GeMM");
+    EXPECT_EQ(w[0].n, 256u);
+    EXPECT_EQ(w[1].name, "NW");
+    EXPECT_EQ(w[1].parallelism, Parallelism::None);
+    EXPECT_EQ(w[4].name, "MD-KNN");
+    EXPECT_EQ(w[4].k, 32u);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the memory compiler: cell selection, cascade/banking
+ * geometry, port replication, resource accounting, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/log.h"
+#include "mem/memory_compiler.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(MemoryCompiler, A3ScratchpadMapsTo7Point5Bram)
+{
+    // The Table II signature: a 512-bit x 320 scratchpad maps to 15
+    // half BRAM36s (7.5 blocks) using the 36x512 BRAM18 shape.
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    const auto m =
+        compileMemory(lib, MemoryCellKind::Bram, 512, 320, 1);
+    EXPECT_DOUBLE_EQ(m.resources.bram, 7.5);
+    EXPECT_EQ(m.cellsDeep, 1u);
+}
+
+TEST(MemoryCompiler, A3ScratchpadMapsTo8Uram)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    const auto m =
+        compileMemory(lib, MemoryCellKind::Uram, 512, 320, 1);
+    EXPECT_DOUBLE_EQ(m.resources.uram, 8.0);
+    EXPECT_EQ(m.cellsWide, 8u);
+    EXPECT_EQ(m.cellsDeep, 1u);
+}
+
+TEST(MemoryCompiler, DeepMemoriesBank)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    // 32 bits x 65536 rows: must cascade in depth.
+    const auto m =
+        compileMemory(lib, MemoryCellKind::Uram, 32, 65536, 1);
+    EXPECT_GE(m.cellsDeep, 16u);
+    EXPECT_GT(m.resources.lut, 0.0) << "banking needs output muxes";
+}
+
+TEST(MemoryCompiler, NarrowDeepPrefersNarrowShapes)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    const auto m =
+        compileMemory(lib, MemoryCellKind::Bram, 1, 32768, 1);
+    EXPECT_DOUBLE_EQ(m.resources.bram, 1.0)
+        << "a 1x32768 memory fits one BRAM36 in 1-bit mode";
+}
+
+TEST(MemoryCompiler, PortReplication)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    const auto one =
+        compileMemory(lib, MemoryCellKind::Bram, 72, 512, 2);
+    const auto four =
+        compileMemory(lib, MemoryCellKind::Bram, 72, 512, 4);
+    EXPECT_EQ(one.replicas, 1u) << "BRAM is natively dual-ported";
+    EXPECT_EQ(four.replicas, 2u);
+    EXPECT_DOUBLE_EQ(four.resources.bram, 2 * one.resources.bram);
+}
+
+TEST(MemoryCompiler, AsicUsesSramMacrosAndArea)
+{
+    const auto lib = MemoryCellLibrary::asap7();
+    const auto m =
+        compileMemory(lib, MemoryCellKind::AsicSram, 256, 1024, 1);
+    EXPECT_GT(m.resources.sramMacros, 0.0);
+    EXPECT_GT(m.resources.areaUm2, 0.0);
+    EXPECT_DOUBLE_EQ(m.resources.bram, 0.0);
+    // ASIC macros are single-ported: two read ports replicate.
+    const auto two =
+        compileMemory(lib, MemoryCellKind::AsicSram, 256, 1024, 2);
+    EXPECT_EQ(two.replicas, 2u);
+}
+
+TEST(MemoryCompiler, CapacityCoversRequest)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    for (unsigned width : {1u, 9u, 30u, 72u, 100u, 512u}) {
+        for (unsigned depth : {1u, 100u, 511u, 512u, 5000u}) {
+            const auto m = compileMemory(lib, MemoryCellKind::Bram,
+                                         width, depth, 1);
+            const u64 capacity = u64(m.cell.widthBits) * m.cell.depth *
+                                 m.cellsWide * m.cellsDeep;
+            ASSERT_GE(capacity, u64(width) * depth)
+                << width << "x" << depth;
+        }
+    }
+}
+
+TEST(MemoryCompiler, RejectsDegenerateRequests)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    EXPECT_THROW(compileMemory(lib, MemoryCellKind::Bram, 0, 100),
+                 ConfigError);
+    EXPECT_THROW(compileMemory(lib, MemoryCellKind::Bram, 32, 0),
+                 ConfigError);
+}
+
+TEST(MemoryCompiler, RejectsMissingCellFamily)
+{
+    MemoryCellLibrary empty;
+    EXPECT_THROW(compileMemory(empty, MemoryCellKind::Bram, 32, 100),
+                 ConfigError);
+    const auto asic = MemoryCellLibrary::asap7();
+    EXPECT_THROW(compileMemory(asic, MemoryCellKind::Uram, 32, 100),
+                 ConfigError);
+}
+
+TEST(MemoryCellLibrary, ShapeFiltering)
+{
+    const auto lib = MemoryCellLibrary::ultrascalePlus();
+    EXPECT_FALSE(lib.shapesOf(MemoryCellKind::Bram).empty());
+    EXPECT_EQ(lib.shapesOf(MemoryCellKind::Uram).size(), 1u);
+    EXPECT_TRUE(lib.shapesOf(MemoryCellKind::AsicSram).empty());
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the simulation-platform probing utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/probe.h"
+#include "sim/queue.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(ProbeSet, SamplesEveryPeriod)
+{
+    Simulator sim;
+    ProbeSet probe(sim, "probe", 4);
+    Cycle ticks = 0;
+    probe.add("ramp", [&] { return double(ticks++); });
+    sim.run(17);
+    // Samples at cycles 0, 4, 8, 12, 16.
+    EXPECT_EQ(probe.numSamples(), 5u);
+    EXPECT_EQ(probe.trace(0).size(), 5u);
+    EXPECT_DOUBLE_EQ(probe.trace(0)[0], 0.0);
+    EXPECT_DOUBLE_EQ(probe.trace(0)[4], 4.0);
+}
+
+TEST(ProbeSet, TracksQueueOccupancy)
+{
+    Simulator sim;
+    TimedQueue<int> q(sim, 8);
+    ProbeSet probe(sim, "probe", 1);
+    probe.add("q.occupancy", [&] { return double(q.occupancy()); });
+    for (int i = 0; i < 4; ++i)
+        q.push(i);
+    sim.run(3);
+    while (q.canPop())
+        q.pop();
+    sim.run(3);
+    const auto &trace = probe.trace(0);
+    EXPECT_DOUBLE_EQ(*std::max_element(trace.begin(), trace.end()),
+                     4.0);
+    EXPECT_DOUBLE_EQ(trace.back(), 0.0);
+}
+
+TEST(ProbeSet, CsvRoundTrip)
+{
+    Simulator sim;
+    ProbeSet probe(sim, "probe", 1);
+    probe.add("a", [&] { return 1.5; });
+    probe.add("b", [&] { return double(sim.cycle()); });
+    sim.run(3);
+    std::ostringstream os;
+    probe.writeCsv(os);
+    EXPECT_EQ(os.str(), "cycle,a,b\n0,1.5,0\n1,1.5,1\n2,1.5,2\n");
+}
+
+TEST(ProbeSet, SparklinesRenderEverySignal)
+{
+    Simulator sim;
+    ProbeSet probe(sim, "probe", 1);
+    probe.add("sine-ish", [&] {
+        return double((sim.cycle() % 10 < 5) ? sim.cycle() % 10 : 10 -
+                      sim.cycle() % 10);
+    });
+    probe.add("flat", [] { return 3.0; });
+    sim.run(100);
+    std::ostringstream os;
+    probe.renderSparklines(os, 40);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sine-ish"), std::string::npos);
+    EXPECT_NE(out.find("flat"), std::string::npos);
+    EXPECT_NE(out.find("max"), std::string::npos);
+}
+
+TEST(ProbeSet, ClearKeepsSignals)
+{
+    Simulator sim;
+    ProbeSet probe(sim, "probe", 1);
+    probe.add("x", [] { return 1.0; });
+    sim.run(5);
+    EXPECT_EQ(probe.numSamples(), 5u);
+    probe.clear();
+    EXPECT_EQ(probe.numSamples(), 0u);
+    EXPECT_EQ(probe.numSignals(), 1u);
+    sim.run(2);
+    EXPECT_EQ(probe.numSamples(), 2u);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the resource-estimation models: monotonicity in the knobs
+ * that should matter, Table II calibration anchors, and interconnect
+ * scaling with tree size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/resource_model.h"
+
+namespace beethoven
+{
+namespace
+{
+
+TEST(ResourceModel, ReaderLogicGrowsWithWidthAndDepth)
+{
+    AxiConfig bus;
+    ReaderParams narrow;
+    narrow.dataBytes = 4;
+    ReaderParams wide = narrow;
+    wide.dataBytes = 64;
+    EXPECT_GT(readerLogicResources(wide, bus).lut,
+              readerLogicResources(narrow, bus).lut);
+
+    ReaderParams shallow = narrow;
+    shallow.maxInflight = 1;
+    ReaderParams deep = narrow;
+    deep.maxInflight = 16;
+    EXPECT_GT(readerLogicResources(deep, bus).lut,
+              readerLogicResources(shallow, bus).lut);
+}
+
+TEST(ResourceModel, ReaderLogicNearTableII)
+{
+    // Table II reports ~2.3K LUT / ~2.6K FF for an A3 reader.
+    AxiConfig bus;
+    bus.dataBytes = 64;
+    ReaderParams p;
+    p.dataBytes = 64;
+    const ResourceVec r = readerLogicResources(p, bus);
+    EXPECT_GT(r.lut, 1200.0);
+    EXPECT_LT(r.lut, 3500.0);
+    EXPECT_GT(r.ff, r.lut) << "readers are register-heavy";
+}
+
+TEST(ResourceModel, ReaderBufferGeometryMatchesPrefetchDepth)
+{
+    AxiConfig bus;
+    bus.dataBytes = 64;
+    ReaderParams p;
+    p.burstBeats = 64;
+    p.maxInflight = 4;
+    const MemoryRequest req = readerBufferRequest(p, bus);
+    EXPECT_EQ(req.widthBits, 512u);
+    EXPECT_EQ(req.depth, 256u); // 4 bursts of 64 beats
+}
+
+TEST(ResourceModel, WriterStageSmallerThanReaderBuffer)
+{
+    AxiConfig bus;
+    bus.dataBytes = 64;
+    ReaderParams rp;
+    rp.burstBeats = 64;
+    rp.maxInflight = 4;
+    WriterParams wp;
+    wp.burstBeats = 64;
+    wp.maxInflight = 4;
+    EXPECT_LT(writerBufferRequest(wp, bus).depth,
+              readerBufferRequest(rp, bus).depth);
+}
+
+TEST(ResourceModel, ScratchpadControlScalesWithPortsAndWidth)
+{
+    ScratchpadParams one;
+    one.dataWidthBits = 32;
+    one.nPorts = 1;
+    ScratchpadParams four = one;
+    four.nPorts = 4;
+    EXPECT_GT(scratchpadControlResources(four).lut,
+              scratchpadControlResources(one).lut);
+    ScratchpadParams wide = one;
+    wide.dataWidthBits = 512;
+    EXPECT_GT(scratchpadControlResources(wide).lut,
+              scratchpadControlResources(one).lut);
+}
+
+TEST(ResourceModel, TreeResourcesScaleWithNodes)
+{
+    TreeStats small{4, 8, 1};
+    TreeStats large{40, 80, 2};
+    const ResourceVec s = treeResources(small, 64, 4);
+    const ResourceVec l = treeResources(large, 64, 4);
+    EXPECT_GT(l.lut, 5 * s.lut);
+    EXPECT_DOUBLE_EQ(s.bram, 0.0);
+    EXPECT_DOUBLE_EQ(l.uram, 0.0);
+}
+
+TEST(ResourceModel, WideFlitsCostMoreThanNarrow)
+{
+    TreeStats stats{10, 20, 1};
+    EXPECT_GT(treeResources(stats, 64, 4).lut,
+              treeResources(stats, 2, 4).lut);
+}
+
+TEST(ResourceModel, ClbTracksLuts)
+{
+    AxiConfig bus;
+    ReaderParams p;
+    const ResourceVec r = readerLogicResources(p, bus);
+    EXPECT_GT(r.clb, 0.0);
+    EXPECT_NEAR(r.clb, r.lut / 6.6, r.lut * 0.01);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Shape-regression tests: cheap, fast guards that the paper's headline
+ * relationships keep holding as the framework evolves. The full
+ * figures live in bench/; these are the invariants a refactor must not
+ * silently break.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/a3/a3_core.h"
+#include "accel/machsuite/nw.h"
+#include "base/rng.h"
+#include "baselines/toolflow_models.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+
+namespace beethoven
+{
+namespace
+{
+
+using namespace machsuite;
+
+Cycle
+runNwOnce(fpga_handle_t &handle, AcceleratorSoc &soc, unsigned core,
+          unsigned n)
+{
+    Rng rng(core + 1);
+    remote_ptr a = handle.malloc(n);
+    remote_ptr b = handle.malloc(n);
+    remote_ptr out = handle.malloc((n + 1) * 4);
+    for (unsigned i = 0; i < n; ++i) {
+        a.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+        b.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+    }
+    handle.copy_to_fpga(a);
+    handle.copy_to_fpga(b);
+    handle
+        .invoke("NwSystem", "nw", core,
+                {a.getFpgaAddr(), b.getFpgaAddr(), out.getFpgaAddr(),
+                 n})
+        .get();
+    return static_cast<NwCore &>(soc.core("NwSystem", core))
+        .lastKernelCycles();
+}
+
+TEST(ShapeRegression, NwSingleCoreIsTwiceHls)
+{
+    // Fig. 6 anchor: "Our implementation achieved 2x higher throughput
+    // over the other baselines, even for a single core."
+    AwsF1Platform platform;
+    platform.setClockMHz(125);
+    AcceleratorSoc soc(AcceleratorConfig(NwCore::systemConfig(1)),
+                       platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+    const Cycle cycles = runNwOnce(handle, soc, 0, 256);
+    const double beethoven_ops = 125e6 / double(cycles);
+    const double hls_ops =
+        baselines::vitisHlsModel("NW", 256, 0).opsPerSecond();
+    const double ratio = beethoven_ops / hls_ops;
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.4);
+}
+
+TEST(ShapeRegression, DispatchContentionShowsAtLowLatency)
+{
+    // Fig. 6's ideal-vs-measured gap: multi-core wall clock must trail
+    // perfect scaling because MMIO dispatch serializes.
+    AwsF1Platform platform;
+    const unsigned n_cores = 8;
+    AcceleratorSoc soc(AcceleratorConfig(NwCore::systemConfig(n_cores)),
+                       platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+
+    const Cycle single = runNwOnce(handle, soc, 0, 256);
+
+    std::vector<std::vector<u64>> args;
+    for (unsigned c = 0; c < n_cores; ++c) {
+        Rng rng(c + 77);
+        remote_ptr a = handle.malloc(256);
+        remote_ptr b = handle.malloc(256);
+        remote_ptr out = handle.malloc(257 * 4);
+        for (unsigned i = 0; i < 256; ++i) {
+            a.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+            b.getHostAddr()[i] = "ACGT"[rng.nextBounded(4)];
+        }
+        handle.copy_to_fpga(a);
+        handle.copy_to_fpga(b);
+        args.push_back({a.getFpgaAddr(), b.getFpgaAddr(),
+                        out.getFpgaAddr(), 256});
+    }
+    const Cycle start = soc.sim().cycle();
+    std::vector<response_handle<u64>> pending;
+    for (unsigned c = 0; c < n_cores; ++c)
+        pending.push_back(handle.invoke("NwSystem", "nw", c, args[c]));
+    for (auto &h : pending)
+        h.get();
+    const Cycle wall = soc.sim().cycle() - start;
+
+    // Perfect scaling would finish all 8 ops in ~`single` cycles.
+    EXPECT_GT(wall, single + 1000)
+        << "dispatch serialization should be visible";
+    EXPECT_LT(wall, 2 * single)
+        << "but the cores must still run concurrently";
+}
+
+TEST(ShapeRegression, A3ThroughputNearOneKeyPerCycle)
+{
+    // Table III anchor: the A3 core sustains ~n_keys cycles/query, so
+    // 23-24 cores at 250 MHz land in the paper's 15-17 M ops/s range.
+    AwsF1Platform platform;
+    AcceleratorSoc soc(
+        AcceleratorConfig(a3::A3Core::systemConfig(1)), platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+
+    const unsigned n_keys = 320, n_queries = 32;
+    Rng rng(11);
+    remote_ptr kmem = handle.malloc(n_keys * 64);
+    remote_ptr vmem = handle.malloc(n_keys * 64);
+    remote_ptr qmem = handle.malloc(n_queries * 64);
+    remote_ptr omem = handle.malloc(n_queries * 64);
+    for (unsigned i = 0; i < n_keys * 64; ++i) {
+        kmem.getHostAddr()[i] = static_cast<u8>(rng.next());
+        vmem.getHostAddr()[i] = static_cast<u8>(rng.next());
+    }
+    handle.copy_to_fpga(kmem);
+    handle.copy_to_fpga(vmem);
+    handle.copy_to_fpga(qmem);
+    handle
+        .invoke("A3System", "load_matrices", 0,
+                {kmem.getFpgaAddr(), vmem.getFpgaAddr(), n_keys})
+        .get();
+    handle
+        .invoke("A3System", "attend", 0,
+                {qmem.getFpgaAddr(), omem.getFpgaAddr(), n_queries})
+        .get();
+    const Cycle cycles =
+        static_cast<a3::A3Core &>(soc.core("A3System", 0))
+            .lastKernelCycles();
+    const double per_query = double(cycles) / n_queries;
+    EXPECT_LT(per_query, 1.25 * n_keys);
+    // 23 cores at this rate clear 15M ops/s @ 250 MHz.
+    EXPECT_GT(23 * 250e6 / per_query, 14e6);
+}
+
+TEST(ShapeRegression, MemoryFabricSharesBandwidthFairly)
+{
+    // Two identical NW cores streaming through the shared fabric must
+    // finish within a few percent of each other.
+    AwsF1Platform platform;
+    AcceleratorSoc soc(AcceleratorConfig(NwCore::systemConfig(2)),
+                       platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+    const Cycle a = runNwOnce(handle, soc, 0, 256);
+    const Cycle b = runNwOnce(handle, soc, 1, 256);
+    EXPECT_NEAR(double(a), double(b), 0.05 * double(a));
+}
+
+} // namespace
+} // namespace beethoven

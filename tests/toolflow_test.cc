@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the documented HLS/Spatial baseline models: every Table I
+ * kernel has a model, the models encode the behaviours the paper
+ * describes, and unknown kernels are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/machsuite/workloads.h"
+#include "base/log.h"
+#include "baselines/toolflow_models.h"
+
+namespace beethoven
+{
+namespace
+{
+
+using baselines::spatialModel;
+using baselines::vitisHlsModel;
+
+TEST(ToolflowModels, EveryTable1KernelHasBothModels)
+{
+    for (const auto &w : machsuite::table1Workloads()) {
+        const auto hls = vitisHlsModel(w.name, w.n, w.k);
+        const auto spatial = spatialModel(w.name, w.n, w.k);
+        EXPECT_GT(hls.opsPerSecond(), 0.0) << w.name;
+        EXPECT_GT(spatial.opsPerSecond(), 0.0) << w.name;
+        EXPECT_FALSE(hls.notes.empty()) << w.name;
+        EXPECT_FALSE(spatial.notes.empty()) << w.name;
+    }
+}
+
+TEST(ToolflowModels, SpatialRunsAtDefaultClock)
+{
+    // Section III-B: "Spatial and Beethoven implementations are
+    // clocked at the default 125MHz clock rate".
+    for (const auto &w : machsuite::table1Workloads())
+        EXPECT_DOUBLE_EQ(spatialModel(w.name, w.n, w.k).clockMHz,
+                         125.0);
+}
+
+TEST(ToolflowModels, NwIsLoopCarryLimited)
+{
+    // The NW cell chain prevents useful unrolling in both tools; the
+    // HLS II must exceed 1.
+    const auto hls = vitisHlsModel("NW", 256, 0);
+    EXPECT_GE(hls.cyclesPerOp, 2.0 * 256 * 256);
+}
+
+TEST(ToolflowModels, StencilsAreTheHlsSweetSpot)
+{
+    // Line-buffered stencils reach II=1 — one output per cycle.
+    const auto hls = vitisHlsModel("Stencil2D", 256, 0);
+    EXPECT_LT(hls.cyclesPerOp, 1.1 * 256 * 256);
+}
+
+TEST(ToolflowModels, GemmScalesWithCube)
+{
+    const auto small = vitisHlsModel("GeMM", 64, 0);
+    const auto large = vitisHlsModel("GeMM", 128, 0);
+    EXPECT_NEAR(large.cyclesPerOp / small.cyclesPerOp, 8.0, 0.5);
+}
+
+TEST(ToolflowModels, UnknownKernelIsFatal)
+{
+    EXPECT_THROW(vitisHlsModel("NotAKernel", 10, 0), ConfigError);
+    EXPECT_THROW(spatialModel("NotAKernel", 10, 0), ConfigError);
+}
+
+} // namespace
+} // namespace beethoven

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_memcpy"
+  "../bench/fig4_memcpy.pdb"
+  "CMakeFiles/fig4_memcpy.dir/fig4_memcpy.cc.o"
+  "CMakeFiles/fig4_memcpy.dir/fig4_memcpy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

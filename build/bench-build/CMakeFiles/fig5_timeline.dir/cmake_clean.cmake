@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_timeline"
+  "../bench/fig5_timeline.pdb"
+  "CMakeFiles/fig5_timeline.dir/fig5_timeline.cc.o"
+  "CMakeFiles/fig5_timeline.dir/fig5_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

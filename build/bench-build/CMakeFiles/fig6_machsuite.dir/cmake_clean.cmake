@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_machsuite"
+  "../bench/fig6_machsuite.pdb"
+  "CMakeFiles/fig6_machsuite.dir/fig6_machsuite.cc.o"
+  "CMakeFiles/fig6_machsuite.dir/fig6_machsuite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_machsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_a3_pipeline"
+  "../bench/fig7_a3_pipeline.pdb"
+  "CMakeFiles/fig7_a3_pipeline.dir/fig7_a3_pipeline.cc.o"
+  "CMakeFiles/fig7_a3_pipeline.dir/fig7_a3_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_a3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

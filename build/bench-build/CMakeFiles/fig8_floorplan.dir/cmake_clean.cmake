@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_floorplan"
+  "../bench/fig8_floorplan.pdb"
+  "CMakeFiles/fig8_floorplan.dir/fig8_floorplan.cc.o"
+  "CMakeFiles/fig8_floorplan.dir/fig8_floorplan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_machsuite"
+  "../bench/table1_machsuite.pdb"
+  "CMakeFiles/table1_machsuite.dir/table1_machsuite.cc.o"
+  "CMakeFiles/table1_machsuite.dir/table1_machsuite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_machsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_attention"
+  "../bench/table3_attention.pdb"
+  "CMakeFiles/table3_attention.dir/table3_attention.cc.o"
+  "CMakeFiles/table3_attention.dir/table3_attention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

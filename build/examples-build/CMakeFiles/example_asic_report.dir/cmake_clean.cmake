@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_asic_report"
+  "../examples/example_asic_report.pdb"
+  "CMakeFiles/example_asic_report.dir/asic_report.cc.o"
+  "CMakeFiles/example_asic_report.dir/asic_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_asic_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

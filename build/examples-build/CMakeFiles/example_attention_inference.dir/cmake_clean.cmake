@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_attention_inference"
+  "../examples/example_attention_inference.pdb"
+  "CMakeFiles/example_attention_inference.dir/attention_inference.cc.o"
+  "CMakeFiles/example_attention_inference.dir/attention_inference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attention_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_beethoven_build"
+  "../examples/example_beethoven_build.pdb"
+  "CMakeFiles/example_beethoven_build.dir/beethoven_build.cc.o"
+  "CMakeFiles/example_beethoven_build.dir/beethoven_build.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_beethoven_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_heterogeneous_pipeline"
+  "../examples/example_heterogeneous_pipeline.pdb"
+  "CMakeFiles/example_heterogeneous_pipeline.dir/heterogeneous_pipeline.cc.o"
+  "CMakeFiles/example_heterogeneous_pipeline.dir/heterogeneous_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_machsuite_scaling"
+  "../examples/example_machsuite_scaling.pdb"
+  "CMakeFiles/example_machsuite_scaling.dir/machsuite_scaling.cc.o"
+  "CMakeFiles/example_machsuite_scaling.dir/machsuite_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_machsuite_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

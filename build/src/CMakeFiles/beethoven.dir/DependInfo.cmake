@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/a3/a3_core.cc" "src/CMakeFiles/beethoven.dir/accel/a3/a3_core.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/a3/a3_core.cc.o.d"
+  "/root/repo/src/accel/machsuite/gemm.cc" "src/CMakeFiles/beethoven.dir/accel/machsuite/gemm.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/machsuite/gemm.cc.o.d"
+  "/root/repo/src/accel/machsuite/md_knn.cc" "src/CMakeFiles/beethoven.dir/accel/machsuite/md_knn.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/machsuite/md_knn.cc.o.d"
+  "/root/repo/src/accel/machsuite/nw.cc" "src/CMakeFiles/beethoven.dir/accel/machsuite/nw.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/machsuite/nw.cc.o.d"
+  "/root/repo/src/accel/machsuite/stencil.cc" "src/CMakeFiles/beethoven.dir/accel/machsuite/stencil.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/machsuite/stencil.cc.o.d"
+  "/root/repo/src/accel/machsuite/workloads.cc" "src/CMakeFiles/beethoven.dir/accel/machsuite/workloads.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/machsuite/workloads.cc.o.d"
+  "/root/repo/src/accel/memcpy_core.cc" "src/CMakeFiles/beethoven.dir/accel/memcpy_core.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/memcpy_core.cc.o.d"
+  "/root/repo/src/accel/vecadd.cc" "src/CMakeFiles/beethoven.dir/accel/vecadd.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/accel/vecadd.cc.o.d"
+  "/root/repo/src/axi/axi.cc" "src/CMakeFiles/beethoven.dir/axi/axi.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/axi/axi.cc.o.d"
+  "/root/repo/src/axi/timeline.cc" "src/CMakeFiles/beethoven.dir/axi/timeline.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/axi/timeline.cc.o.d"
+  "/root/repo/src/base/bits.cc" "src/CMakeFiles/beethoven.dir/base/bits.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/base/bits.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/CMakeFiles/beethoven.dir/base/log.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/base/log.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/beethoven.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/base/stats.cc.o.d"
+  "/root/repo/src/baselines/attention_sw.cc" "src/CMakeFiles/beethoven.dir/baselines/attention_sw.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/baselines/attention_sw.cc.o.d"
+  "/root/repo/src/baselines/machsuite_golden.cc" "src/CMakeFiles/beethoven.dir/baselines/machsuite_golden.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/baselines/machsuite_golden.cc.o.d"
+  "/root/repo/src/baselines/raw_memcpy.cc" "src/CMakeFiles/beethoven.dir/baselines/raw_memcpy.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/baselines/raw_memcpy.cc.o.d"
+  "/root/repo/src/baselines/toolflow_models.cc" "src/CMakeFiles/beethoven.dir/baselines/toolflow_models.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/baselines/toolflow_models.cc.o.d"
+  "/root/repo/src/bindgen/bindgen.cc" "src/CMakeFiles/beethoven.dir/bindgen/bindgen.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/bindgen/bindgen.cc.o.d"
+  "/root/repo/src/cmd/command_spec.cc" "src/CMakeFiles/beethoven.dir/cmd/command_spec.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/cmd/command_spec.cc.o.d"
+  "/root/repo/src/cmd/mmio.cc" "src/CMakeFiles/beethoven.dir/cmd/mmio.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/cmd/mmio.cc.o.d"
+  "/root/repo/src/cmd/rocc.cc" "src/CMakeFiles/beethoven.dir/cmd/rocc.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/cmd/rocc.cc.o.d"
+  "/root/repo/src/core/accelerator_core.cc" "src/CMakeFiles/beethoven.dir/core/accelerator_core.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/core/accelerator_core.cc.o.d"
+  "/root/repo/src/core/soc.cc" "src/CMakeFiles/beethoven.dir/core/soc.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/core/soc.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/CMakeFiles/beethoven.dir/dram/controller.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/dram/controller.cc.o.d"
+  "/root/repo/src/dram/functional_memory.cc" "src/CMakeFiles/beethoven.dir/dram/functional_memory.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/dram/functional_memory.cc.o.d"
+  "/root/repo/src/floorplan/floorplan.cc" "src/CMakeFiles/beethoven.dir/floorplan/floorplan.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/floorplan/floorplan.cc.o.d"
+  "/root/repo/src/mem/memory_compiler.cc" "src/CMakeFiles/beethoven.dir/mem/memory_compiler.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/memory_compiler.cc.o.d"
+  "/root/repo/src/mem/reader.cc" "src/CMakeFiles/beethoven.dir/mem/reader.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/reader.cc.o.d"
+  "/root/repo/src/mem/resource_model.cc" "src/CMakeFiles/beethoven.dir/mem/resource_model.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/resource_model.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/CMakeFiles/beethoven.dir/mem/scratchpad.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/scratchpad.cc.o.d"
+  "/root/repo/src/mem/strided.cc" "src/CMakeFiles/beethoven.dir/mem/strided.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/strided.cc.o.d"
+  "/root/repo/src/mem/writer.cc" "src/CMakeFiles/beethoven.dir/mem/writer.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/mem/writer.cc.o.d"
+  "/root/repo/src/platform/aws_f1.cc" "src/CMakeFiles/beethoven.dir/platform/aws_f1.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/platform/aws_f1.cc.o.d"
+  "/root/repo/src/runtime/allocator.cc" "src/CMakeFiles/beethoven.dir/runtime/allocator.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/runtime/allocator.cc.o.d"
+  "/root/repo/src/runtime/fpga_handle.cc" "src/CMakeFiles/beethoven.dir/runtime/fpga_handle.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/runtime/fpga_handle.cc.o.d"
+  "/root/repo/src/runtime/host_interface.cc" "src/CMakeFiles/beethoven.dir/runtime/host_interface.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/runtime/host_interface.cc.o.d"
+  "/root/repo/src/runtime/runtime_server.cc" "src/CMakeFiles/beethoven.dir/runtime/runtime_server.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/runtime/runtime_server.cc.o.d"
+  "/root/repo/src/sim/probe.cc" "src/CMakeFiles/beethoven.dir/sim/probe.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/sim/probe.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/beethoven.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/beethoven.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/a3_sweep_test.cc" "tests/CMakeFiles/beethoven_tests.dir/a3_sweep_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/a3_sweep_test.cc.o.d"
+  "/root/repo/tests/a3_test.cc" "tests/CMakeFiles/beethoven_tests.dir/a3_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/a3_test.cc.o.d"
+  "/root/repo/tests/allocator_test.cc" "tests/CMakeFiles/beethoven_tests.dir/allocator_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/allocator_test.cc.o.d"
+  "/root/repo/tests/axi_checker_test.cc" "tests/CMakeFiles/beethoven_tests.dir/axi_checker_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/axi_checker_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/beethoven_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/bindgen_test.cc" "tests/CMakeFiles/beethoven_tests.dir/bindgen_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/bindgen_test.cc.o.d"
+  "/root/repo/tests/bits_test.cc" "tests/CMakeFiles/beethoven_tests.dir/bits_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/bits_test.cc.o.d"
+  "/root/repo/tests/cmd_test.cc" "tests/CMakeFiles/beethoven_tests.dir/cmd_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/cmd_test.cc.o.d"
+  "/root/repo/tests/core_api_test.cc" "tests/CMakeFiles/beethoven_tests.dir/core_api_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/core_api_test.cc.o.d"
+  "/root/repo/tests/dram_sweep_test.cc" "tests/CMakeFiles/beethoven_tests.dir/dram_sweep_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/dram_sweep_test.cc.o.d"
+  "/root/repo/tests/dram_test.cc" "tests/CMakeFiles/beethoven_tests.dir/dram_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/dram_test.cc.o.d"
+  "/root/repo/tests/floorplan_test.cc" "tests/CMakeFiles/beethoven_tests.dir/floorplan_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/floorplan_test.cc.o.d"
+  "/root/repo/tests/functional_memory_test.cc" "tests/CMakeFiles/beethoven_tests.dir/functional_memory_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/functional_memory_test.cc.o.d"
+  "/root/repo/tests/intra_core_test.cc" "tests/CMakeFiles/beethoven_tests.dir/intra_core_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/intra_core_test.cc.o.d"
+  "/root/repo/tests/machsuite_test.cc" "tests/CMakeFiles/beethoven_tests.dir/machsuite_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/machsuite_test.cc.o.d"
+  "/root/repo/tests/memcpy_test.cc" "tests/CMakeFiles/beethoven_tests.dir/memcpy_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/memcpy_test.cc.o.d"
+  "/root/repo/tests/memory_compiler_test.cc" "tests/CMakeFiles/beethoven_tests.dir/memory_compiler_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/memory_compiler_test.cc.o.d"
+  "/root/repo/tests/multi_process_test.cc" "tests/CMakeFiles/beethoven_tests.dir/multi_process_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/multi_process_test.cc.o.d"
+  "/root/repo/tests/noc_test.cc" "tests/CMakeFiles/beethoven_tests.dir/noc_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/noc_test.cc.o.d"
+  "/root/repo/tests/probe_test.cc" "tests/CMakeFiles/beethoven_tests.dir/probe_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/probe_test.cc.o.d"
+  "/root/repo/tests/queue_test.cc" "tests/CMakeFiles/beethoven_tests.dir/queue_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/queue_test.cc.o.d"
+  "/root/repo/tests/reader_writer_test.cc" "tests/CMakeFiles/beethoven_tests.dir/reader_writer_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/reader_writer_test.cc.o.d"
+  "/root/repo/tests/resource_model_test.cc" "tests/CMakeFiles/beethoven_tests.dir/resource_model_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/resource_model_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/beethoven_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/scratchpad_test.cc" "tests/CMakeFiles/beethoven_tests.dir/scratchpad_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/scratchpad_test.cc.o.d"
+  "/root/repo/tests/shape_regression_test.cc" "tests/CMakeFiles/beethoven_tests.dir/shape_regression_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/shape_regression_test.cc.o.d"
+  "/root/repo/tests/soc_test.cc" "tests/CMakeFiles/beethoven_tests.dir/soc_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/soc_test.cc.o.d"
+  "/root/repo/tests/strided_test.cc" "tests/CMakeFiles/beethoven_tests.dir/strided_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/strided_test.cc.o.d"
+  "/root/repo/tests/toolflow_test.cc" "tests/CMakeFiles/beethoven_tests.dir/toolflow_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/toolflow_test.cc.o.d"
+  "/root/repo/tests/vecadd_e2e_test.cc" "tests/CMakeFiles/beethoven_tests.dir/vecadd_e2e_test.cc.o" "gcc" "tests/CMakeFiles/beethoven_tests.dir/vecadd_e2e_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beethoven.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

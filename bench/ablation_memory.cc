@@ -13,8 +13,11 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "accel/memcpy_core.h"
 #include "base/log.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -40,12 +43,16 @@ class TunedF1 : public AwsF1Platform
 
 Cycle
 copyCycles(const Platform &platform, const MemcpyCore::Variant &variant,
-           u64 len)
+           u64 len, BenchCli &cli, const std::string &label)
 {
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        soc.sim().attachTrace(sink);
+    }
     remote_ptr src = handle.malloc(len);
     remote_ptr dst = handle.malloc(len);
     for (u64 i = 0; i < len; ++i)
@@ -55,6 +62,7 @@ copyCycles(const Platform &platform, const MemcpyCore::Variant &variant,
         .invoke("MemcpySystem", "do_memcpy", 0,
                 {src.getFpgaAddr(), dst.getFpgaAddr(), len})
         .get();
+    cli.recordStats(label, soc.sim().stats());
     return static_cast<MemcpyCore &>(soc.core("MemcpySystem", 0))
         .lastKernelCycles();
 }
@@ -68,10 +76,11 @@ gbps(u64 len, Cycle cycles, double mhz)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
-    const u64 len = 1_MiB;
+    const u64 len = cli.quick() ? 64_KiB : 1_MiB;
     AwsF1Platform f1;
     const double mhz = f1.clockMHz();
 
@@ -87,7 +96,10 @@ main()
         v.maxInflight = inflight;
         v.useTlp = true;
         std::printf("    maxInflight=%2u : %6.2f\n", inflight,
-                    gbps(len, copyCycles(f1, v, len), mhz));
+                    gbps(len,
+                         copyCycles(f1, v, len, cli,
+                                    "inflight-" + std::to_string(inflight)),
+                         mhz));
     }
 
     std::printf("\n[2] Burst length x TLP:\n");
@@ -99,7 +111,11 @@ main()
             v.useTlp = tlp;
             std::printf("    %s burst=%2u : %6.2f\n",
                         tlp ? "TLP   " : "no-TLP", burst,
-                        gbps(len, copyCycles(f1, v, len), mhz));
+                        gbps(len,
+                             copyCycles(f1, v, len, cli,
+                                        std::string(tlp ? "tlp" : "no-tlp") +
+                                            "-burst" + std::to_string(burst)),
+                             mhz));
         }
     }
 
@@ -110,7 +126,10 @@ main()
         tuned.crossingLatency = crossing;
         MemcpyCore::Variant v;
         std::printf("    crossing=%2u cycles : %6.2f\n", crossing,
-                    gbps(len, copyCycles(tuned, v, len), mhz));
+                    gbps(len,
+                         copyCycles(tuned, v, len, cli,
+                                    "crossing-" + std::to_string(crossing)),
+                         mhz));
     }
 
     std::printf(
@@ -124,5 +143,5 @@ main()
         "recycle per txn.\n"
         "# [3] steady-state streaming hides crossing latency; only "
         "extreme values dent it.\n");
-    return 0;
+    return cli.finish();
 }

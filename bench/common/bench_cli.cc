@@ -1,0 +1,86 @@
+#include "common/bench_cli.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace beethoven
+{
+
+BenchCli::BenchCli(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace=", 8) == 0) {
+            _tracePath = arg + 8;
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            _statsPath = arg + 13;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            _quick = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (!_tracePath.empty())
+        _sink = std::make_unique<TraceSink>();
+}
+
+void
+BenchCli::recordStats(const std::string &label, const StatGroup &stats)
+{
+    if (_statsPath.empty())
+        return;
+    std::ostringstream oss;
+    stats.dumpJson(oss);
+    _statsJson.emplace_back(label, oss.str());
+}
+
+int
+BenchCli::finish()
+{
+    int rc = 0;
+    if (_sink != nullptr) {
+        std::ofstream f(_tracePath);
+        if (!f) {
+            std::cerr << "cannot open trace file " << _tracePath << "\n";
+            rc = 1;
+        } else {
+            _sink->writeChromeTrace(f);
+            std::cerr << "wrote " << _sink->numEvents() << " events to "
+                      << _tracePath << "\n";
+            _sink->writeSummary(std::cerr);
+            _sink->writeProfile(std::cerr);
+        }
+    }
+    if (!_statsPath.empty()) {
+        std::ofstream f(_statsPath);
+        if (!f) {
+            std::cerr << "cannot open stats file " << _statsPath << "\n";
+            rc = 1;
+        } else {
+            f << "{";
+            bool first = true;
+            for (const auto &[label, json] : _statsJson) {
+                if (!first)
+                    f << ",\n";
+                first = false;
+                f << "\"";
+                for (char c : label) {
+                    if (c == '"' || c == '\\')
+                        f << '\\';
+                    f << c;
+                }
+                f << "\":" << json;
+            }
+            f << "}\n";
+        }
+    }
+    return rc;
+}
+
+} // namespace beethoven

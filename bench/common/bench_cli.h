@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared command-line plumbing for the bench/ executables.
+ *
+ * Every bench main constructs a BenchCli, which strips the
+ * observability flags from argv before the bench (or google-benchmark)
+ * sees them:
+ *
+ *   --trace=FILE       attachable Chrome-trace sink; FILE gets the
+ *                      trace_event JSON, and a text summary + cycle
+ *                      profile are printed after the run
+ *   --stats-json=FILE  machine-readable stats: one JSON object per
+ *                      recordStats() label
+ *   --quick            benches that honor it shrink their sweep (used
+ *                      by the ctest observability fixture)
+ *
+ * The sink is owned here; benches attach it per-run with
+ * `soc.sim().attachTrace(cli.sink())` (a nullptr attach is a no-op
+ * path, so unconditional attachment keeps call sites branch-free).
+ */
+
+#ifndef BEETHOVEN_BENCH_COMMON_BENCH_CLI_H
+#define BEETHOVEN_BENCH_COMMON_BENCH_CLI_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/stats.h"
+#include "trace/trace.h"
+
+namespace beethoven
+{
+
+class BenchCli
+{
+  public:
+    /** Parse and remove recognized flags from @p argc / @p argv. */
+    BenchCli(int &argc, char **argv);
+
+    /** The trace sink, or nullptr when --trace was not given. */
+    TraceSink *sink() { return _sink.get(); }
+
+    bool quick() const { return _quick; }
+    bool tracing() const { return _sink != nullptr; }
+
+    /**
+     * Snapshot @p stats as JSON under @p label. Serializes immediately
+     * so the caller may destroy the SoC afterwards.
+     */
+    void recordStats(const std::string &label, const StatGroup &stats);
+
+    /**
+     * Write the trace and stats files (if requested) and print the
+     * trace summary + cycle profile. @return process exit code.
+     */
+    int finish();
+
+  private:
+    std::string _tracePath;
+    std::string _statsPath;
+    bool _quick = false;
+    std::unique_ptr<TraceSink> _sink;
+    std::vector<std::pair<std::string, std::string>> _statsJson;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BENCH_COMMON_BENCH_CLI_H

@@ -19,11 +19,13 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "accel/memcpy_core.h"
 #include "base/log.h"
 #include "baselines/raw_memcpy.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -34,13 +36,18 @@ namespace
 
 /** Device-side kernel cycles for one Beethoven-configured copy. */
 Cycle
-beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len)
+beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
+                    BenchCli &cli, const std::string &label)
 {
     AwsF1Platform platform;
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        soc.sim().attachTrace(sink);
+    }
 
     remote_ptr src = handle.malloc(len);
     remote_ptr dst = handle.malloc(len);
@@ -53,12 +60,14 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len)
         .get();
     auto &core =
         static_cast<MemcpyCore &>(soc.core("MemcpySystem", 0));
+    cli.recordStats(label, soc.sim().stats());
     return core.lastKernelCycles();
 }
 
 /** Device-side cycles for a raw-AXI (HLS / pure-HDL model) copy. */
 Cycle
-rawCopyCycles(const RawAxiMemcpy::Params &params, u64 len)
+rawCopyCycles(const RawAxiMemcpy::Params &params, u64 len, BenchCli &cli,
+              const std::string &label)
 {
     Simulator sim;
     FunctionalMemory mem;
@@ -67,10 +76,15 @@ rawCopyCycles(const RawAxiMemcpy::Params &params, u64 len)
     cfg.timing = AwsF1Platform().dramTiming();
     DramController ctrl(sim, "ddr", cfg, mem);
     RawAxiMemcpy engine(sim, "memcpy", params, ctrl);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        sim.attachTrace(sink);
+    }
     engine.start(0x100000, 0x4000000, len);
     const Cycle start = sim.cycle();
     if (!sim.runUntil([&] { return engine.done(); }, 100'000'000ULL))
         fatal("raw copy did not complete");
+    cli.recordStats(label, sim.stats());
     return sim.cycle() - start;
 }
 
@@ -84,8 +98,9 @@ gbps(u64 len, Cycle cycles, double clock_mhz)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
     const double f1_mhz = AwsF1Platform().clockMHz();
     // The HLS kernel compiles at 500 MHz but is "performance-limited by
@@ -117,14 +132,20 @@ main()
     std::printf("%10s %10s %10s %12s %14s %16s\n", "size", "HLS",
                 "Pure-HDL", "Beethoven", "Bthvn-NoTLP", "Bthvn-16beat");
 
-    const std::vector<u64> sizes = {4096,      16384,    65536,
-                                    262144,    1048576,  4194304};
+    const std::vector<u64> sizes =
+        cli.quick() ? std::vector<u64>{4096, 16384}
+                    : std::vector<u64>{4096,   16384,   65536,
+                                       262144, 1048576, 4194304};
     for (u64 len : sizes) {
-        const Cycle c_hls = rawCopyCycles(hls, len);
-        const Cycle c_hdl = rawCopyCycles(hdl, len);
-        const Cycle c_tlp64 = beethovenCopyCycles(tlp64, len);
-        const Cycle c_notlp = beethovenCopyCycles(no_tlp, len);
-        const Cycle c_tlp16 = beethovenCopyCycles(tlp, len);
+        const std::string kb = std::to_string(len / 1024) + "KB";
+        const Cycle c_hls = rawCopyCycles(hls, len, cli, "hls-" + kb);
+        const Cycle c_hdl = rawCopyCycles(hdl, len, cli, "hdl-" + kb);
+        const Cycle c_tlp64 =
+            beethovenCopyCycles(tlp64, len, cli, "beethoven-" + kb);
+        const Cycle c_notlp =
+            beethovenCopyCycles(no_tlp, len, cli, "no-tlp-" + kb);
+        const Cycle c_tlp16 =
+            beethovenCopyCycles(tlp, len, cli, "tlp16-" + kb);
         std::printf("%8lluKB %10.2f %10.2f %12.2f %14.2f %16.2f\n",
                     static_cast<unsigned long long>(len / 1024),
                     gbps(len, c_hls, f1_mhz), gbps(len, c_hdl, f1_mhz),
@@ -136,5 +157,5 @@ main()
     std::printf("\n# Shape check (paper, Section III-A): pure-HDL ~7%% "
                 "above Beethoven; HLS clearly lower;\n# Beethoven "
                 "16-beat shows no degradation vs 64-beat.\n");
-    return 0;
+    return cli.finish();
 }

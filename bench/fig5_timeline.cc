@@ -21,6 +21,7 @@
 #include "accel/memcpy_core.h"
 #include "base/log.h"
 #include "baselines/raw_memcpy.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -30,7 +31,8 @@ namespace
 {
 
 void
-runRaw(const char *title, const RawAxiMemcpy::Params &params)
+runRaw(const char *title, const RawAxiMemcpy::Params &params,
+       BenchCli &cli, const char *label)
 {
     Simulator sim;
     FunctionalMemory mem;
@@ -39,6 +41,10 @@ runRaw(const char *title, const RawAxiMemcpy::Params &params)
     cfg.timing = AwsF1Platform().dramTiming();
     DramController ctrl(sim, "ddr", cfg, mem);
     RawAxiMemcpy engine(sim, "memcpy", params, ctrl);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        sim.attachTrace(sink);
+    }
 
     // Pre-warm with a dummy copy so row state resembles steady
     // operation, then record the 4 KB copy of interest.
@@ -51,16 +57,22 @@ runRaw(const char *title, const RawAxiMemcpy::Params &params)
         fatal("copy did not complete");
     std::printf("\n%s\n", title);
     ctrl.timeline().render(std::cout, 100);
+    cli.recordStats(label, sim.stats());
 }
 
 void
-runBeethoven(const char *title, const MemcpyCore::Variant &variant)
+runBeethoven(const char *title, const MemcpyCore::Variant &variant,
+             BenchCli &cli, const char *label)
 {
     AwsF1Platform platform;
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        soc.sim().attachTrace(sink);
+    }
 
     remote_ptr src = handle.malloc(4096);
     remote_ptr dst = handle.malloc(4096);
@@ -76,13 +88,15 @@ runBeethoven(const char *title, const MemcpyCore::Variant &variant)
     soc.dram().timeline().setEnabled(false);
     std::printf("\n%s\n", title);
     soc.dram().timeline().render(std::cout, 100);
+    cli.recordStats(label, soc.sim().stats());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
 
     RawAxiMemcpy::Params hls;
@@ -90,22 +104,24 @@ main()
     hls.maxInflightReads = 4;
     hls.maxInflightWrites = 4;
     hls.distinctIds = false;
-    runRaw("(a) HLS: 4 requests @ 16 beats, one AXI ID", hls);
+    runRaw("(a) HLS: 4 requests @ 16 beats, one AXI ID", hls, cli,
+           "hls");
 
     MemcpyCore::Variant bthvn; // 16-beat transactions across AXI IDs
     runBeethoven("(b) Beethoven: 4 requests @ 16 beats, distinct AXI IDs",
-                 bthvn);
+                 bthvn, cli, "beethoven");
 
     RawAxiMemcpy::Params hdl;
     hdl.burstBeats = 64;
     hdl.maxInflightReads = 1;
     hdl.maxInflightWrites = 1;
     hdl.distinctIds = false;
-    runRaw("(c) Hand-written RTL: 1 request @ 64 beats", hdl);
+    runRaw("(c) Hand-written RTL: 1 request @ 64 beats", hdl, cli,
+           "hdl");
 
     std::printf("\n# Shape check (paper, Fig. 5): same-ID HLS "
                 "transactions serialize; Beethoven's distinct-ID\n"
                 "# transactions overlap and writes complete early; HDL "
                 "uses one long burst per direction.\n");
-    return 0;
+    return cli.finish();
 }

@@ -30,6 +30,7 @@
 #include "accel/machsuite/stencil.h"
 #include "base/rng.h"
 #include "baselines/toolflow_models.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -92,19 +93,25 @@ struct Result
 Result
 runKernel(const KernelDriver &driver,
           const baselines::ToolflowPoint &hls,
-          const baselines::ToolflowPoint &spatial)
+          const baselines::ToolflowPoint &spatial, BenchCli &cli)
 {
     AwsF1Platform platform;
     // MachSuite Beethoven designs run at the default 125 MHz clock
     // (Section III-B), unlike the 250 MHz memcpy study.
     platform.setClockMHz(125);
     const unsigned fit = maxCoresThatFit(driver, platform);
-    const unsigned n_cores = std::min(fit, driver.simCoreCap);
+    const unsigned n_cores =
+        std::min(fit, cli.quick() ? std::min(driver.simCoreCap, 4u)
+                                  : driver.simCoreCap);
 
     AcceleratorSoc soc(AcceleratorConfig(driver.makeConfig(n_cores)),
                        platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(driver.name);
+        soc.sim().attachTrace(sink);
+    }
 
     // Per-core operand buffers.
     std::vector<std::vector<u64>> args;
@@ -140,6 +147,7 @@ runKernel(const KernelDriver &driver,
     r.measuredOps = total_ops * clock_hz / double(wall);
     r.coresSimulated = n_cores;
     r.coresFit = fit;
+    cli.recordStats(driver.name, soc.sim().stats());
     return r;
 }
 
@@ -240,8 +248,9 @@ prepMdKnn(fpga_handle_t &handle, unsigned seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
 
     std::vector<KernelDriver> drivers;
@@ -294,7 +303,7 @@ main()
         const auto spatial = baselines::spatialModel(drivers[i].name,
                                                      sizes[i].n,
                                                      sizes[i].k);
-        const Result r = runKernel(drivers[i], hls, spatial);
+        const Result r = runKernel(drivers[i], hls, spatial, cli);
         std::printf("%-10s %9.2f %9.2f %13.2f %16.2f %7u %9u\n",
                     drivers[i].name.c_str(), 1.0,
                     r.spatialOps / r.hlsOps, r.idealOps / r.hlsOps,
@@ -310,5 +319,5 @@ main()
         "ideal-vs-measured gap is largest for the\n"
         "# lowest-latency kernels (runtime-server dispatch "
         "contention).\n");
-    return 0;
+    return cli.finish();
 }

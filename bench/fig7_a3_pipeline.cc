@@ -13,6 +13,7 @@
 
 #include "accel/a3/a3_core.h"
 #include "base/rng.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -20,14 +21,19 @@ using namespace beethoven;
 using namespace beethoven::a3;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
     AwsF1Platform platform;
     AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(1)),
                        platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess("a3");
+        soc.sim().attachTrace(sink);
+    }
 
     const unsigned n_keys = 320, n_queries = 128;
     Rng rng(3);
@@ -104,5 +110,6 @@ main()
                 "occupied (they overlap across queries),\n"
                 "# and steady-state cost approaches one key row per "
                 "cycle.\n");
-    return 0;
+    cli.recordStats("a3", soc.sim().stats());
+    return cli.finish();
 }

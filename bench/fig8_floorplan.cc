@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "accel/a3/a3_core.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 
 using namespace beethoven;
@@ -47,8 +48,9 @@ maxA3Cores(const Platform &platform)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
     AwsF1Platform platform;
     const unsigned n_cores = maxA3Cores(platform);
@@ -94,5 +96,6 @@ main()
                 "all three SLRs, with more cores on the\n"
                 "# shell-free SLR2 (\"the shell consumed significant "
                 "resources only on SLR0/1\").\n");
-    return 0;
+    cli.recordStats("floorplan", soc.sim().stats());
+    return cli.finish();
 }

@@ -11,10 +11,12 @@
 
 #include "accel/vecadd.h"
 #include "cmd/command_spec.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "platform/sim_platform.h"
 #include "runtime/allocator.h"
 #include "runtime/fpga_handle.h"
+#include "trace/trace.h"
 
 using namespace beethoven;
 
@@ -73,6 +75,46 @@ BM_SimulatorCycleThroughput(benchmark::State &state)
 BENCHMARK(BM_SimulatorCycleThroughput)->Arg(1)->Arg(4)->Arg(16);
 
 void
+BM_SimulatorCycleThroughputTraced(benchmark::State &state)
+{
+    // Same idle SoC as BM_SimulatorCycleThroughput but with a trace
+    // sink attached, so the delta against that benchmark is the cost
+    // of live instrumentation. The untraced variant doubles as the
+    // null-sink fast-path check: it runs the instrumented build with
+    // no sink, and must stay within noise of pre-instrumentation
+    // numbers.
+    AwsF1Platform platform;
+    AcceleratorConfig cfg(VecAddCore::systemConfig(
+        static_cast<unsigned>(state.range(0))));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    TraceSink sink;
+    // Bound the event buffer so long benchmark runs measure steady
+    // admission cost, not allocation growth.
+    sink.setMaxEvents(1u << 16);
+    soc.sim().attachTrace(&sink);
+    for (auto _ : state)
+        soc.sim().step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCycleThroughputTraced)->Arg(1)->Arg(4);
+
+void
+BM_TraceSpanRecord(benchmark::State &state)
+{
+    // Raw cost of recording one duration span (the hot path every
+    // instrumented module pays when a sink is attached).
+    TraceSink sink;
+    sink.setMaxEvents(1u << 20);
+    Cycle c = 0;
+    for (auto _ : state) {
+        sink.span("bench", "span", "t", c, c + 4, {{"arg", c}});
+        ++c;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanRecord);
+
+void
 BM_Elaboration(benchmark::State &state)
 {
     AwsF1Platform platform;
@@ -107,4 +149,16 @@ BENCHMARK(BM_EndToEndVecAdd);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --trace/--stats-json/--quick before google-benchmark sees
+    // them: it rejects unrecognized flags outright.
+    BenchCli cli(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return cli.finish();
+}

@@ -8,10 +8,12 @@
 #include <cstdio>
 
 #include "accel/machsuite/workloads.h"
+#include "common/bench_cli.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    beethoven::BenchCli cli(argc, argv);
     using namespace beethoven::machsuite;
     std::printf("# Table I — MachSuite benchmarks selected for the "
                 "evaluation\n");
@@ -27,5 +29,5 @@ main()
                     w.complexity.c_str(), w.dataSize.c_str(),
                     parallelismName(w.parallelism));
     }
-    return 0;
+    return cli.finish();
 }

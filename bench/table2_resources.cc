@@ -16,6 +16,7 @@
 #include <string>
 
 #include "accel/a3/a3_core.h"
+#include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
 
@@ -78,8 +79,9 @@ variantString(const std::map<std::string, unsigned> &variants)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
     AwsF1Platform platform;
     const unsigned n_cores = maxA3Cores(platform);
@@ -156,5 +158,6 @@ main()
                 "and ~8-URAM variants across cores;\n"
                 "# the paper's design: 23 cores, 94.3%% CLB total, "
                 "Beethoven 737K LUT / 518 BRAM / 576 URAM.\n");
-    return 0;
+    cli.recordStats("a3-resources", soc.sim().stats());
+    return cli.finish();
 }

@@ -21,6 +21,7 @@
 #include "accel/a3/a3_core.h"
 #include "base/rng.h"
 #include "baselines/attention_sw.h"
+#include "common/bench_cli.h"
 #include "platform/asap7.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
@@ -57,12 +58,17 @@ maxA3Cores(const Platform &platform)
 /** Simulated attention throughput (ops/s) on @p platform. */
 double
 simulatedOpsPerSecond(const Platform &platform, unsigned n_cores,
-                      unsigned queries_per_core, double *out_watts)
+                      unsigned queries_per_core, double *out_watts,
+                      BenchCli &cli, const char *label)
 {
     AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(n_cores)),
                        platform);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
+    if (TraceSink *sink = cli.sink()) {
+        sink->beginProcess(label);
+        soc.sim().attachTrace(sink);
+    }
 
     const unsigned n_keys = 320;
     Rng rng(17);
@@ -112,6 +118,7 @@ simulatedOpsPerSecond(const Platform &platform, unsigned n_cores,
             soc.floorplan().totalUsed() + soc.floorplan().totalShell();
         *out_watts = platform.powerModel().watts(design);
     }
+    cli.recordStats(label, soc.sim().stats());
     const double total_ops = double(queries_per_core) * n_cores;
     return total_ops * platform.clockMHz() * 1e6 / double(wall);
 }
@@ -126,8 +133,9 @@ printRow(const char *name, double ops, double watts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli(argc, argv);
     setInformEnabled(false);
 
     std::printf("# Table III — BERT attention (320 keys, 64-dim): "
@@ -148,8 +156,9 @@ main()
     AwsF1Platform f1;
     const unsigned n_cores = maxA3Cores(f1);
     double f1_watts = 0.0;
+    const unsigned queries = cli.quick() ? 48 : 192;
     const double f1_ops =
-        simulatedOpsPerSecond(f1, n_cores, 192, &f1_watts);
+        simulatedOpsPerSecond(f1, n_cores, queries, &f1_watts, cli, "f1");
     char label[64];
     std::snprintf(label, sizeof(label), "Beethoven(%uc)", n_cores);
     printRow(label, f1_ops, f1_watts);
@@ -157,7 +166,7 @@ main()
     // 1-core ASIC at 1 GHz on ASAP7.
     Asap7Platform asic;
     const double asic_ops =
-        simulatedOpsPerSecond(asic, 1, 192, nullptr);
+        simulatedOpsPerSecond(asic, 1, queries, nullptr, cli, "asap7");
     std::printf("%-14s %14.3g %12s %12s\n", "1-Core ASIC", asic_ops,
                 "-", "-");
     std::printf("%-14s %14.3g %12s %12s   (paper, @1 GHz)\n",
@@ -172,5 +181,5 @@ main()
                 "# by ~3x and on energy/op by >1 order of magnitude; "
                 "the single ASIC core lands near the\n"
                 "# original A3 publication's 2.94M ops/s.\n");
-    return 0;
+    return cli.finish();
 }

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A minimal JSON parser for validating the substrate's own output
+ * (trace files, stats exports) in tests and tooling. Not a general
+ * serialization layer: numbers are doubles, objects preserve insertion
+ * order in a vector of pairs.
+ */
+
+#ifndef BEETHOVEN_BASE_JSON_H
+#define BEETHOVEN_BASE_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace beethoven
+{
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as a single JSON value (trailing whitespace allowed).
+ * @throws ConfigError on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_JSON_H

@@ -1,5 +1,6 @@
 #include "base/stats.h"
 
+#include <cmath>
 #include <memory>
 
 namespace beethoven
@@ -28,10 +29,43 @@ StatHistogram::sample(double v)
     }
     ++_samples;
     _sum += v;
-    std::size_t idx = static_cast<std::size_t>(v / _bucketWidth);
+    // Negative samples land in bucket 0: the double->size_t cast below
+    // is UB for negative values, and min()/mean() already carry the
+    // signed information.
+    std::size_t idx = v < 0.0
+        ? 0
+        : static_cast<std::size_t>(v / _bucketWidth);
     if (idx >= _buckets.size())
         idx = _buckets.size() - 1;
     ++_buckets[idx];
+}
+
+double
+StatHistogram::percentile(double p) const
+{
+    if (_samples == 0 || _buckets.empty())
+        return 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    // Rank of the target sample, 1-based (ceiling, so p99 of two
+    // samples is the second); p <= 0 degenerates to the first sample.
+    std::size_t target = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(_samples)));
+    if (target < 1)
+        target = 1;
+    if (target > _samples)
+        target = _samples;
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        cumulative += _buckets[i];
+        if (cumulative >= target) {
+            if (i + 1 == _buckets.size())
+                return _max; // overflow bucket has no upper edge
+            const double edge = static_cast<double>(i + 1) * _bucketWidth;
+            return edge < _max ? edge : _max;
+        }
+    }
+    return _max;
 }
 
 StatGroup &
@@ -41,6 +75,16 @@ StatGroup::group(const std::string &name)
     if (it == _children.end())
         it = _children.emplace(name, std::make_unique<StatGroup>(name)).first;
     return *it->second;
+}
+
+StatGroup &
+StatGroup::groupByPath(const std::string &dotted_path)
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos)
+        return group(dotted_path);
+    return group(dotted_path.substr(0, dot))
+        .groupByPath(dotted_path.substr(dot + 1));
 }
 
 StatScalar &
@@ -82,6 +126,104 @@ StatGroup::findScalar(const std::string &dotted_path) const
     if (it == _children.end())
         return nullptr;
     return it->second->findScalar(dotted_path.substr(dot + 1));
+}
+
+const StatHistogram *
+StatGroup::findHistogram(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = _histograms.find(dotted_path);
+        return it == _histograms.end() ? nullptr : &it->second;
+    }
+    auto it = _children.find(dotted_path.substr(0, dot));
+    if (it == _children.end())
+        return nullptr;
+    return it->second->findHistogram(dotted_path.substr(dot + 1));
+}
+
+namespace
+{
+
+void
+jsonQuote(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    auto section = [&](const char *key) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << key << "\":{";
+    };
+    if (!_scalars.empty()) {
+        section("scalars");
+        bool f = true;
+        for (const auto &[name, s] : _scalars) {
+            if (!f)
+                os << ",";
+            f = false;
+            jsonQuote(os, name);
+            os << ":" << s.value();
+        }
+        os << "}";
+    }
+    if (!_histograms.empty()) {
+        section("histograms");
+        bool f = true;
+        for (const auto &[name, h] : _histograms) {
+            if (!f)
+                os << ",";
+            f = false;
+            jsonQuote(os, name);
+            os << ":{\"samples\":" << h.samples()
+               << ",\"mean\":" << h.mean()
+               << ",\"min\":" << h.min()
+               << ",\"max\":" << h.max()
+               << ",\"p50\":" << h.percentile(50.0)
+               << ",\"p95\":" << h.percentile(95.0)
+               << ",\"p99\":" << h.percentile(99.0)
+               << ",\"bucketWidth\":" << h.bucketWidth()
+               << ",\"buckets\":[";
+            bool bf = true;
+            for (u64 b : h.buckets()) {
+                if (!bf)
+                    os << ",";
+                bf = false;
+                os << b;
+            }
+            os << "]}";
+        }
+        os << "}";
+    }
+    if (!_children.empty()) {
+        section("groups");
+        bool f = true;
+        for (const auto &[name, child] : _children) {
+            if (!f)
+                os << ",";
+            f = false;
+            jsonQuote(os, name);
+            os << ":";
+            child->dumpJson(os);
+        }
+        os << "}";
+    }
+    os << "}";
 }
 
 } // namespace beethoven

@@ -53,10 +53,18 @@ class StatHistogram
     std::size_t samples() const { return _samples; }
     double sum() const { return _sum; }
     double mean() const { return _samples ? _sum / _samples : 0.0; }
-    double max() const { return _max; }
+    double max() const { return _samples ? _max : 0.0; }
     double min() const { return _samples ? _min : 0.0; }
     const std::vector<u64> &buckets() const { return _buckets; }
     double bucketWidth() const { return _bucketWidth; }
+
+    /**
+     * Estimate the @p p-th percentile (0 < p <= 100) from the bucket
+     * counts: the upper edge of the bucket holding the target sample,
+     * clamped to the observed max (so the overflow bucket and sparse
+     * tails do not overstate the value). Returns 0 with no samples.
+     */
+    double percentile(double p) const;
 
   private:
     std::vector<u64> _buckets;
@@ -84,6 +92,14 @@ class StatGroup
     /** Get or create a child group. */
     StatGroup &group(const std::string &name);
 
+    /**
+     * Get or create a chain of nested child groups from a dotted path
+     * ("noc.ar" -> child "noc" -> child "ar"), so registered stats
+     * resolve through findScalar / findHistogram. Plain group() treats
+     * the whole string, dots included, as a single level.
+     */
+    StatGroup &groupByPath(const std::string &dotted_path);
+
     /** Get or create a named scalar in this group. */
     StatScalar &scalar(const std::string &name);
 
@@ -95,8 +111,19 @@ class StatGroup
     /** Recursively print "path.to.stat = value" lines. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Recursively serialize as JSON: {"scalars": {...}, "histograms":
+     * {name: {samples, mean, min, max, p50, p95, p99, bucketWidth,
+     * buckets: [...]}}, "groups": {name: {...}}}. Empty sections are
+     * omitted.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Look up a scalar by dotted path; nullptr if absent. */
     const StatScalar *findScalar(const std::string &dotted_path) const;
+
+    /** Look up a histogram by dotted path; nullptr if absent. */
+    const StatHistogram *findHistogram(const std::string &dotted_path) const;
 
   private:
     std::string _name;

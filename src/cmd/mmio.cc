@@ -1,16 +1,34 @@
 #include "cmd/mmio.h"
 
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
+
+namespace
+{
+
+/** Response routing word: the key responses are matched on. */
+u64
+routingKey(u32 system_id, u32 core_id, u32 rd)
+{
+    return (u64(system_id) << 16) | (u64(core_id) << 5) | rd;
+}
+
+} // namespace
 
 MmioCommandSystem::MmioCommandSystem(Simulator &sim, std::string name,
                                      std::size_t queue_depth)
     : Module(sim, std::move(name)),
       _cmdOut(sim, queue_depth),
       _respIn(sim, queue_depth)
-{}
+{
+    StatHistogram &h =
+        sim.stats().group(Module::name()).histogram("cmdLatency");
+    h.configure(64, 16.0);
+    _cmdLatency = &h;
+}
 
 void
 MmioCommandSystem::write32(u32 offset, u32 value)
@@ -82,6 +100,11 @@ MmioCommandSystem::tick()
         beat.rs1 = u64(_stage[1]) | (u64(_stage[2]) << 32);
         beat.rs2 = u64(_stage[3]) | (u64(_stage[4]) << 32);
         _cmdOut.push(beat);
+        // First beat of a command opens its latency window; later
+        // beats of the same command reuse the recorded cycle.
+        _cmdStart.emplace(
+            routingKey(beat.systemId(), beat.coreId(), beat.rd()),
+            sim().cycle());
         _stageCount = 0;
         _submitPending = false;
     }
@@ -89,6 +112,23 @@ MmioCommandSystem::tick()
         _respReg = _respIn.pop();
         _respHeld = true;
         _respReadIdx = 0;
+        const u64 key =
+            routingKey(_respReg.systemId, _respReg.coreId, _respReg.rd);
+        auto it = _cmdStart.find(key);
+        if (it != _cmdStart.end()) {
+            const Cycle begin = it->second;
+            const Cycle end = sim().cycle();
+            _cmdLatency->sample(static_cast<double>(end - begin));
+            if (TraceSink *ts = sim().trace()) {
+                ts->span("cmd", "cmd",
+                         "cmd.s" + std::to_string(_respReg.systemId) +
+                             ".c" + std::to_string(_respReg.coreId),
+                         begin, end,
+                         {{"rd", _respReg.rd},
+                          {"data", _respReg.data}});
+            }
+            _cmdStart.erase(it);
+        }
     }
 }
 

@@ -26,7 +26,9 @@
 #define BEETHOVEN_CMD_MMIO_H
 
 #include <array>
+#include <map>
 
+#include "base/stats.h"
 #include "cmd/rocc.h"
 #include "sim/module.h"
 #include "sim/queue.h"
@@ -75,6 +77,16 @@ class MmioCommandSystem : public Module
     bool _respHeld = false;
     RoccResponse _respReg;
     mutable unsigned _respReadIdx = 0;
+
+    /**
+     * Dispatch cycle of each in-flight command, keyed by its response
+     * routing word (systemId, coreId, rd) — the same key the runtime
+     * uses to match responses. Commands are MMIO-paced, so this map
+     * stays small. Feeds the dispatch->completion span and the
+     * cmdLatency histogram.
+     */
+    std::map<u64, Cycle> _cmdStart;
+    StatHistogram *_cmdLatency;
 };
 
 } // namespace beethoven

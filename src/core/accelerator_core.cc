@@ -1,6 +1,7 @@
 #include "core/accelerator_core.h"
 
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
@@ -95,6 +96,8 @@ AcceleratorCore::pollCommand()
     cmd.args = it->second.args();
     cmd.rd = it->second.rd();
     cmd.expectsResponse = it->second.expectsResponse();
+    if (sim().trace() != nullptr)
+        _execStart[cmd.rd] = sim().cycle();
     return cmd;
 }
 
@@ -112,6 +115,14 @@ AcceleratorCore::respond(const DecodedCommand &cmd, u64 data)
     resp.rd = cmd.rd;
     resp.data = data;
     _ctx.respOut->push(resp);
+    if (TraceSink *ts = sim().trace()) {
+        auto it = _execStart.find(cmd.rd);
+        if (it != _execStart.end()) {
+            ts->span("cmd", name() + ".exec", name(), it->second,
+                     sim().cycle(), {{"commandId", cmd.commandId}});
+            _execStart.erase(it);
+        }
+    }
     return true;
 }
 

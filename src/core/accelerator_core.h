@@ -100,6 +100,8 @@ class AcceleratorCore : public Module
   private:
     CoreContext _ctx;
     std::map<u32, CommandAssembler> _assemblers;
+    /** Cycle each in-flight command was delivered, keyed by rd. */
+    std::map<u32, Cycle> _execStart;
 };
 
 } // namespace beethoven

@@ -5,12 +5,32 @@
 
 #include "base/log.h"
 #include "mem/resource_model.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
 
 namespace
 {
+
+/**
+ * Register one fabric tree with the NoC probe: a busy-interval track
+ * over its total link occupancy plus per-link occupancy counters,
+ * sampled only while a TraceSink is attached to the simulator.
+ */
+template <typename Tree>
+void
+hookTree(TraceProbe &probe, const std::string &track, Tree &tree)
+{
+    probe.addBusyTrack(track, [&tree] { return tree.occupancy(); });
+    probe.addCounterSampler([&tree](TraceSink &ts, Cycle at) {
+        tree.visitLinkOccupancy(
+            [&ts, at](const std::string &link, std::size_t occ) {
+                ts.counter("noc", link + ".occ", at,
+                           static_cast<double>(occ));
+            });
+    });
+}
 
 ReaderParams
 toReaderParams(const ReadChannelConfig &cfg, const Platform &platform)
@@ -141,8 +161,27 @@ AcceleratorSoc::AcceleratorSoc(AcceleratorConfig config,
     buildCommandFabric();
     wireIntraCorePorts();
     buildCores();
+    buildTraceProbe();
     accountInterconnect();
     checkFit();
+}
+
+void
+AcceleratorSoc::buildTraceProbe()
+{
+    _nocProbe = std::make_unique<TraceProbe>(_sim, "noc.probe");
+    if (_arTree)
+        hookTree(*_nocProbe, "noc.ar", *_arTree);
+    if (_rTree)
+        hookTree(*_nocProbe, "noc.r", *_rTree);
+    if (_wTree)
+        hookTree(*_nocProbe, "noc.w", *_wTree);
+    if (_bTree)
+        hookTree(*_nocProbe, "noc.b", *_bTree);
+    if (_cmdTree)
+        hookTree(*_nocProbe, "noc.cmd", *_cmdTree);
+    if (_respTree)
+        hookTree(*_nocProbe, "noc.resp", *_respTree);
 }
 
 AcceleratorSoc::~AcceleratorSoc() = default;

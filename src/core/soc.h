@@ -43,6 +43,8 @@
 namespace beethoven
 {
 
+class TraceProbe;
+
 /** Where one logical on-chip memory ended up (Table II evidence). */
 struct MemoryMappingRecord
 {
@@ -116,6 +118,7 @@ class AcceleratorSoc
     void wireIntraCorePorts();
     void accountInterconnect();
     void checkFit() const;
+    void buildTraceProbe();
 
     AcceleratorConfig _config;
     const Platform &_platform;
@@ -142,6 +145,9 @@ class AcceleratorSoc
     std::unique_ptr<DemuxTree<RoccCommand>> _cmdTree;
     std::unique_ptr<MuxTree<RoccResponse>> _respTree;
     std::unique_ptr<QueuePump<RoccCommand>> _cmdPump;
+
+    /** Feeds an attached TraceSink with NoC occupancy; inert otherwise. */
+    std::unique_ptr<TraceProbe> _nocProbe;
 
     // Owned hardware, in construction order.
     std::vector<std::unique_ptr<Reader>> _readers;

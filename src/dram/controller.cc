@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
@@ -25,6 +26,10 @@ DramController::DramController(Simulator &sim, std::string name,
     _statColWrites = &g.scalar("colWrites");
     _statTurnarounds = &g.scalar("turnarounds");
     _statRefreshes = &g.scalar("refreshes");
+    _readLatency = &g.histogram("readLatency");
+    _readLatency->configure(64, 16.0);
+    _writeLatency = &g.histogram("writeLatency");
+    _writeLatency->configure(64, 16.0);
     _nextRefreshAt = cfg.timing.tREFI;
 }
 
@@ -71,6 +76,7 @@ DramController::acceptRequests()
         txn.seq = _seqCounter++;
         txn.tag = req.tag;
         txn.id = req.id;
+        txn.acceptedAt = now;
         txn.addr = req.addr;
         txn.beats = req.beats;
         txn.issued.assign(req.beats, false);
@@ -92,6 +98,7 @@ DramController::acceptRequests()
             txn.seq = _seqCounter++;
             txn.tag = f.header.tag;
             txn.id = f.header.id;
+            txn.acceptedAt = now;
             txn.addr = f.header.addr;
             txn.beats = f.header.beats;
             txn.issued.assign(f.header.beats, false);
@@ -410,6 +417,17 @@ DramController::sendReadData()
                 _rOut.push(std::move(beat));
                 _rrReadId = it->first + 1;
                 if (done) {
+                    _readLatency->sample(
+                        static_cast<double>(now - txn.acceptedAt));
+                    if (TraceSink *ts = sim().trace()) {
+                        ts->span("axi", "rd",
+                                 name() + ".rd.id" +
+                                     std::to_string(txn.id),
+                                 txn.acceptedAt, now,
+                                 {{"addr", txn.addr},
+                                  {"beats", txn.beats},
+                                  {"id", txn.id}});
+                    }
                     q.pop_front();
                     _reads.erase(txn.tag);
                     // A successor already queued behind the head was
@@ -451,6 +469,16 @@ DramController::sendWriteResponses()
             _timeline.record({now, AxiChannel::B, resp.id, resp.tag, 0, 0,
                               false});
             _bOut.push(resp);
+            _writeLatency->sample(
+                static_cast<double>(now - txn.acceptedAt));
+            if (TraceSink *ts = sim().trace()) {
+                ts->span("axi", "wr",
+                         name() + ".wr.id" + std::to_string(txn.id),
+                         txn.acceptedAt, now,
+                         {{"addr", txn.addr},
+                          {"beats", txn.beats},
+                          {"id", txn.id}});
+            }
             q.pop_front();
             _writes.erase(txn.tag);
             if (!q.empty())

@@ -88,6 +88,7 @@ class DramController : public Module
         u64 seq = 0; ///< controller arrival order (FCFS age)
         u64 tag = 0;
         u32 id = 0;
+        Cycle acceptedAt = 0; ///< AR accept, for latency spans
         Addr addr = 0;
         u32 beats = 0;
         u32 beatsIssued = 0; ///< count of issued column commands
@@ -103,6 +104,7 @@ class DramController : public Module
         u64 seq = 0;
         u64 tag = 0;
         u32 id = 0;
+        Cycle acceptedAt = 0; ///< AW accept, for latency spans
         Addr addr = 0;
         u32 beats = 0;
         u32 beatsReceived = 0;
@@ -179,6 +181,8 @@ class DramController : public Module
     StatScalar *_statColWrites;
     StatScalar *_statTurnarounds;
     StatScalar *_statRefreshes;
+    StatHistogram *_readLatency;  ///< AR accept -> last R beat
+    StatHistogram *_writeLatency; ///< AW accept -> B response
 };
 
 } // namespace beethoven

@@ -4,6 +4,7 @@
 
 #include "base/bits.h"
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
@@ -29,6 +30,8 @@ Reader::Reader(Simulator &sim, std::string name,
     StatGroup &g = sim.stats().group(Module::name());
     _statBytesRead = &g.scalar("bytesRead");
     _statTxns = &g.scalar("transactions");
+    _streamCycles = &g.histogram("streamCycles");
+    _streamCycles->configure(64, 64.0);
 }
 
 bool
@@ -68,6 +71,8 @@ Reader::startNextCommand()
     _reqAddr = cmd.addr;
     _reqBytesLeft = cmd.lenBytes;
     _drainBytesLeft = cmd.lenBytes;
+    _streamStart = sim().cycle();
+    _streamBytes = cmd.lenBytes;
 }
 
 void
@@ -174,8 +179,15 @@ Reader::drainToCore()
     _dataQ.push(std::move(word));
     *_statBytesRead += _params.dataBytes;
     _drainBytesLeft -= _params.dataBytes;
-    if (_drainBytesLeft == 0)
+    if (_drainBytesLeft == 0) {
         _active = false;
+        const Cycle now = sim().cycle();
+        _streamCycles->sample(static_cast<double>(now - _streamStart));
+        if (TraceSink *ts = sim().trace()) {
+            ts->span("mem", "read-stream", name(), _streamStart, now,
+                     {{"bytes", _streamBytes}});
+        }
+    }
 }
 
 } // namespace beethoven

@@ -98,6 +98,8 @@ class Reader : public Module
     u64 _reqBytesLeft = 0; ///< stream bytes not yet requested
     u64 _drainBytesLeft = 0;
     u64 _txnSeq = 0;
+    Cycle _streamStart = 0; ///< cycle the active command began
+    u64 _streamBytes = 0;   ///< length of the active command
 
     std::deque<Txn> _txns;      ///< in issue (= address) order
     std::size_t _reservedBeats = 0;
@@ -105,6 +107,7 @@ class Reader : public Module
 
     StatScalar *_statBytesRead;
     StatScalar *_statTxns;
+    StatHistogram *_streamCycles; ///< per-command start -> drain done
 };
 
 } // namespace beethoven

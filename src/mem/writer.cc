@@ -4,6 +4,7 @@
 
 #include "base/bits.h"
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
@@ -30,6 +31,8 @@ Writer::Writer(Simulator &sim, std::string name,
     StatGroup &g = sim.stats().group(Module::name());
     _statBytesWritten = &g.scalar("bytesWritten");
     _statTxns = &g.scalar("transactions");
+    _streamCycles = &g.histogram("streamCycles");
+    _streamCycles->configure(64, 64.0);
 }
 
 bool
@@ -51,6 +54,12 @@ Writer::tick()
         !_open.valid && _doneQ.canPush()) {
         _doneQ.push(StreamDone{_cmdLen});
         _active = false;
+        const Cycle now = sim().cycle();
+        _streamCycles->sample(static_cast<double>(now - _streamStart));
+        if (TraceSink *ts = sim().trace()) {
+            ts->span("mem", "write-stream", name(), _streamStart, now,
+                     {{"bytes", _cmdLen}});
+        }
     }
 }
 
@@ -67,6 +76,7 @@ Writer::startNextCommand()
         _bytesLeft = 0;
         _bytesAcked = 0;
         _cmdLen = 0;
+        _streamStart = sim().cycle();
         return;
     }
     if (cmd.addr % _params.dataBytes != 0 ||
@@ -84,6 +94,7 @@ Writer::startNextCommand()
     _bytesAcked = 0;
     _cmdLen = cmd.lenBytes;
     _stagedTotal = 0;
+    _streamStart = sim().cycle();
     beethoven_assert(_stage.empty(),
                      "writer %s: stage residue across commands",
                      name().c_str());

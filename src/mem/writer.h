@@ -79,6 +79,7 @@ class Writer : public Module
     u64 _cmdLen = 0;
     u64 _stagedTotal = 0;   ///< bytes of this command accepted so far
     u64 _txnSeq = 0;
+    Cycle _streamStart = 0; ///< cycle the active command began
 
     std::vector<u8> _stage; ///< bytes received from the core, in order
 
@@ -98,6 +99,7 @@ class Writer : public Module
 
     StatScalar *_statBytesWritten;
     StatScalar *_statTxns;
+    StatHistogram *_streamCycles; ///< per-command start -> done token
 };
 
 } // namespace beethoven

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "base/log.h"
+#include "base/stats.h"
 #include "sim/module.h"
 #include "sim/queue.h"
 
@@ -59,8 +60,9 @@ class MuxNode : public Module
 {
   public:
     MuxNode(Simulator &sim, std::string name, TimedQueue<F> *out,
-            Lock lock = Lock{})
-        : Module(sim, std::move(name)), _out(out), _lock(std::move(lock))
+            Lock lock = Lock{}, StatScalar *flits = nullptr)
+        : Module(sim, std::move(name)), _out(out), _lock(std::move(lock)),
+          _flits(flits)
     {}
 
     void addInput(TimedQueue<F> *in) { _inputs.push_back(in); }
@@ -77,6 +79,8 @@ class MuxNode : public Module
             if (in->canPop()) {
                 _out->push(in->pop());
                 --_lockRemaining;
+                if (_flits != nullptr)
+                    ++*_flits;
             }
             return;
         }
@@ -89,6 +93,8 @@ class MuxNode : public Module
             F flit = in->pop();
             const unsigned lock_beats = _lock(flit);
             _out->push(std::move(flit));
+            if (_flits != nullptr)
+                ++*_flits;
             if (lock_beats > 0) {
                 _lockRemaining = lock_beats;
                 _lockedInput = j;
@@ -103,6 +109,7 @@ class MuxNode : public Module
     std::vector<TimedQueue<F> *> _inputs;
     TimedQueue<F> *_out;
     Lock _lock;
+    StatScalar *_flits; ///< shared per-tree forwarded-flit counter
     std::size_t _rr = 0;
     unsigned _lockRemaining = 0;
     std::size_t _lockedInput = 0;
@@ -119,8 +126,9 @@ class DemuxNode : public Module
     using KeyFn = std::function<std::size_t(const F &)>;
 
     DemuxNode(Simulator &sim, std::string name, TimedQueue<F> *in,
-              KeyFn key)
-        : Module(sim, std::move(name)), _in(in), _key(std::move(key))
+              KeyFn key, StatScalar *flits = nullptr)
+        : Module(sim, std::move(name)), _in(in), _key(std::move(key)),
+          _flits(flits)
     {}
 
     /** Declare that endpoint @p endpoint is reached through @p out. */
@@ -140,13 +148,17 @@ class DemuxNode : public Module
         beethoven_assert(it != _routes.end(),
                          "no route for endpoint %zu at %s", key,
                          name().c_str());
-        if (it->second->canPush())
+        if (it->second->canPush()) {
             it->second->push(_in->pop());
+            if (_flits != nullptr)
+                ++*_flits;
+        }
     }
 
   private:
     TimedQueue<F> *_in;
     KeyFn _key;
+    StatScalar *_flits; ///< shared per-tree forwarded-flit counter
     std::map<std::size_t, TimedQueue<F> *> _routes;
 };
 
@@ -203,6 +215,7 @@ class MuxTree
         beethoven_assert(!endpoint_slr.empty(),
                          "MuxTree %s with no endpoints", name.c_str());
         _endpointQueues.resize(endpoint_slr.size());
+        _flits = &sim.stats().groupByPath(name).scalar("flits");
 
         // Group endpoints by SLR.
         std::map<unsigned, std::vector<std::size_t>> by_slr;
@@ -219,7 +232,7 @@ class MuxTree
             const unsigned link_latency =
                 slr == root_slr ? 1 : params.slrCrossingLatency;
             auto *link = makeQueue(
-                sim,
+                sim, name + ".slr" + std::to_string(slr) + ".link",
                 std::max<std::size_t>(params.queueDepth,
                                       link_latency + 1),
                 link_latency);
@@ -242,22 +255,44 @@ class MuxTree
 
     const TreeStats &stats() const { return _stats; }
 
+    /** Flits currently buffered in the tree's internal links. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t total = 0;
+        for (const auto &q : _queues)
+            total += q->occupancy();
+        return total;
+    }
+
+    /** Visit each internal link as (name, current occupancy). */
+    void
+    visitLinkOccupancy(
+        const std::function<void(const std::string &, std::size_t)> &fn)
+        const
+    {
+        for (std::size_t i = 0; i < _queues.size(); ++i)
+            fn(_linkNames[i], _queues[i]->occupancy());
+    }
+
   private:
     MuxNode<F, Lock> *
     makeNode(Simulator &sim, const std::string &name, TimedQueue<F> *out,
              const Lock &lock)
     {
         _nodes.push_back(std::make_unique<MuxNode<F, Lock>>(
-            sim, name, out, lock));
+            sim, name, out, lock, _flits));
         ++_stats.nodes;
         return _nodes.back().get();
     }
 
     TimedQueue<F> *
-    makeQueue(Simulator &sim, std::size_t depth, unsigned latency)
+    makeQueue(Simulator &sim, const std::string &name, std::size_t depth,
+              unsigned latency)
     {
         _queues.push_back(
             std::make_unique<TimedQueue<F>>(sim, depth, latency));
+        _linkNames.push_back(name);
         ++_stats.links;
         return _queues.back().get();
     }
@@ -272,7 +307,9 @@ class MuxTree
         auto *node = makeNode(sim, name, out, lock);
         if (endpoints.size() <= params.fanout) {
             for (std::size_t e : endpoints) {
-                auto *q = makeQueue(sim, params.queueDepth, 1);
+                auto *q = makeQueue(
+                    sim, name + ".ep" + std::to_string(e),
+                    params.queueDepth, 1);
                 node->addInput(q);
                 _endpointQueues[e] = q;
             }
@@ -287,7 +324,9 @@ class MuxTree
                 endpoints.begin() + g * per,
                 endpoints.begin() +
                     std::min(endpoints.size(), (g + 1) * per));
-            auto *q = makeQueue(sim, params.queueDepth, 1);
+            auto *q = makeQueue(
+                sim, name + "." + std::to_string(g) + ".link",
+                params.queueDepth, 1);
             node->addInput(q);
             buildSubtree(sim, name + "." + std::to_string(g), sub,
                          params, q, lock);
@@ -296,7 +335,9 @@ class MuxTree
 
     std::vector<std::unique_ptr<MuxNode<F, Lock>>> _nodes;
     std::vector<std::unique_ptr<TimedQueue<F>>> _queues;
+    std::vector<std::string> _linkNames; ///< parallel to _queues
     std::vector<TimedQueue<F> *> _endpointQueues;
+    StatScalar *_flits = nullptr;
     TreeStats _stats;
 };
 
@@ -321,7 +362,8 @@ class DemuxTree
         beethoven_assert(!endpoint_slr.empty(),
                          "DemuxTree %s with no endpoints", name.c_str());
         _endpointQueues.resize(endpoint_slr.size());
-        _rootQueue = makeQueue(sim, params.queueDepth, 1);
+        _flits = &sim.stats().groupByPath(name).scalar("flits");
+        _rootQueue = makeQueue(sim, name + ".rootq", params.queueDepth, 1);
 
         std::map<unsigned, std::vector<std::size_t>> by_slr;
         for (std::size_t i = 0; i < endpoint_slr.size(); ++i)
@@ -333,7 +375,7 @@ class DemuxTree
                 slr == root_slr ? 1 : params.slrCrossingLatency;
             // Pipelined crossing: depth must cover the latency.
             auto *link = makeQueue(
-                sim,
+                sim, name + ".slr" + std::to_string(slr) + ".link",
                 std::max<std::size_t>(params.queueDepth,
                                       link_latency + 1),
                 link_latency);
@@ -358,21 +400,43 @@ class DemuxTree
 
     const TreeStats &stats() const { return _stats; }
 
+    /** Flits currently buffered in the tree's internal links. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t total = 0;
+        for (const auto &q : _queues)
+            total += q->occupancy();
+        return total;
+    }
+
+    /** Visit each internal link as (name, current occupancy). */
+    void
+    visitLinkOccupancy(
+        const std::function<void(const std::string &, std::size_t)> &fn)
+        const
+    {
+        for (std::size_t i = 0; i < _queues.size(); ++i)
+            fn(_linkNames[i], _queues[i]->occupancy());
+    }
+
   private:
     DemuxNode<F> *
     makeNode(Simulator &sim, const std::string &name, TimedQueue<F> *in)
     {
         _nodes.push_back(
-            std::make_unique<DemuxNode<F>>(sim, name, in, _key));
+            std::make_unique<DemuxNode<F>>(sim, name, in, _key, _flits));
         ++_stats.nodes;
         return _nodes.back().get();
     }
 
     TimedQueue<F> *
-    makeQueue(Simulator &sim, std::size_t depth, unsigned latency)
+    makeQueue(Simulator &sim, const std::string &name, std::size_t depth,
+              unsigned latency)
     {
         _queues.push_back(
             std::make_unique<TimedQueue<F>>(sim, depth, latency));
+        _linkNames.push_back(name);
         ++_stats.links;
         return _queues.back().get();
     }
@@ -385,7 +449,9 @@ class DemuxTree
         auto *node = makeNode(sim, name, in);
         if (endpoints.size() <= params.fanout) {
             for (std::size_t e : endpoints) {
-                auto *q = makeQueue(sim, params.queueDepth, 1);
+                auto *q = makeQueue(
+                    sim, name + ".ep" + std::to_string(e),
+                    params.queueDepth, 1);
                 node->addRoute(e, q);
                 _endpointQueues[e] = q;
             }
@@ -399,7 +465,9 @@ class DemuxTree
                 endpoints.begin() + g * per,
                 endpoints.begin() +
                     std::min(endpoints.size(), (g + 1) * per));
-            auto *q = makeQueue(sim, params.queueDepth, 1);
+            auto *q = makeQueue(
+                sim, name + "." + std::to_string(g) + ".link",
+                params.queueDepth, 1);
             for (std::size_t e : sub)
                 node->addRoute(e, q);
             buildSubtree(sim, name + "." + std::to_string(g), sub,
@@ -411,7 +479,9 @@ class DemuxTree
     TimedQueue<F> *_rootQueue = nullptr;
     std::vector<std::unique_ptr<DemuxNode<F>>> _nodes;
     std::vector<std::unique_ptr<TimedQueue<F>>> _queues;
+    std::vector<std::string> _linkNames; ///< parallel to _queues
     std::vector<TimedQueue<F> *> _endpointQueues;
+    StatScalar *_flits = nullptr;
     TreeStats _stats;
 };
 

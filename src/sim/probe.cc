@@ -41,12 +41,34 @@ ProbeSet::tick()
         entry.samples.push_back(entry.signal());
 }
 
+namespace
+{
+
+/** Quote a CSV field when it contains a delimiter, quote, or newline. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 void
 ProbeSet::writeCsv(std::ostream &os) const
 {
+    os << "# period=" << _period << "\n";
     os << "cycle";
     for (const auto &entry : _signals)
-        os << "," << entry.name;
+        os << "," << csvField(entry.name);
     os << "\n";
     for (std::size_t i = 0; i < _sampleCycles.size(); ++i) {
         os << _sampleCycles[i];

@@ -44,8 +44,15 @@ class ProbeSet : public Module
     /** The recorded trace of signal @p idx. */
     const std::vector<double> &trace(std::size_t idx) const;
 
-    /** Emit "cycle,sig1,sig2,..." rows. */
+    /**
+     * Emit a "# period=<N>" comment line, then "cycle,sig1,sig2,..."
+     * rows. Signal names containing commas, quotes, or newlines are
+     * CSV-quoted (embedded quotes doubled) so the header stays
+     * machine-parseable.
+     */
     void writeCsv(std::ostream &os) const;
+
+    Cycle period() const { return _period; }
 
     /**
      * Render one sparkline row per signal, min-max normalized over the

@@ -16,6 +16,8 @@
 namespace beethoven
 {
 
+class TraceSink;
+
 /**
  * Clocks registered Modules and commits registered Committables.
  *
@@ -55,6 +57,15 @@ class Simulator
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 
+    /**
+     * Attached event sink, or nullptr (the default). Instrumented
+     * modules guard every record with this pointer, so simulation
+     * without a sink pays only the null check. The sink is not owned
+     * and must outlive its attachment.
+     */
+    TraceSink *trace() const { return _trace; }
+    void attachTrace(TraceSink *sink) { _trace = sink; }
+
     std::size_t numModules() const { return _modules.size(); }
 
   private:
@@ -62,6 +73,7 @@ class Simulator
     std::vector<Module *> _modules;
     std::vector<Committable *> _commits;
     StatGroup _stats{"soc"};
+    TraceSink *_trace = nullptr;
 };
 
 } // namespace beethoven

@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "base/json.h"
 #include "base/log.h"
 #include "base/rng.h"
 #include "base/stats.h"
@@ -53,6 +54,140 @@ TEST(Stats, HistogramBuckets)
     EXPECT_EQ(b[2], 1u);     // 25
     EXPECT_EQ(b[3], 1u);     // 35
     EXPECT_EQ(b[4], 1u);     // 1000 overflows
+}
+
+TEST(Stats, HistogramNegativeSampleKeepsMin)
+{
+    // Regression: a single negative sample must report its own value
+    // as the minimum (and land in the first bucket), not 0.
+    StatHistogram h;
+    h.configure(4, 10.0);
+    h.sample(-3.0);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), -3.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(Stats, HistogramEmptyMinMax)
+{
+    StatHistogram h;
+    h.configure(4, 10.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Stats, HistogramPercentiles)
+{
+    StatHistogram h;
+    h.configure(10, 10.0);
+    // 100 samples, one per unit, 0.5 .. 99.5.
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    // Bucketed percentiles resolve to bucket upper edges...
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90), 90.0);
+    // ...clamped to the observed maximum in the last occupied bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(95), 99.5);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 99.5);
+}
+
+TEST(Stats, HistogramPercentileOverflowBucket)
+{
+    StatHistogram h;
+    h.configure(2, 10.0);
+    h.sample(5.0);
+    h.sample(500.0);
+    // The overflow bucket reports the observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(99), 500.0);
+}
+
+TEST(Stats, FindHistogramByDottedPath)
+{
+    StatGroup root("soc");
+    StatHistogram &h = root.group("ddr").histogram("readLatency");
+    h.configure(8, 16.0);
+    h.sample(12.0);
+    const StatHistogram *found =
+        root.findHistogram("ddr.readLatency");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->samples(), 1u);
+    EXPECT_EQ(root.findHistogram("ddr.nope"), nullptr);
+    EXPECT_EQ(root.findHistogram("nope.readLatency"), nullptr);
+}
+
+TEST(Stats, GroupByPathNestsDottedNames)
+{
+    StatGroup root("soc");
+    root.groupByPath("noc.ar").scalar("flits") += 9;
+    // The dotted path creates real nesting, so dotted lookup works.
+    const StatScalar *flits = root.findScalar("noc.ar.flits");
+    ASSERT_NE(flits, nullptr);
+    EXPECT_DOUBLE_EQ(flits->value(), 9.0);
+    // Same path returns the same group.
+    EXPECT_EQ(&root.groupByPath("noc.ar"), &root.group("noc").group("ar"));
+}
+
+TEST(Stats, DumpJsonParsesBackWithPercentiles)
+{
+    StatGroup root("soc");
+    root.scalar("cycles") += 123;
+    StatHistogram &h = root.group("ddr").histogram("readLatency");
+    h.configure(8, 16.0);
+    for (int i = 0; i < 32; ++i)
+        h.sample(i * 4.0);
+    std::ostringstream os;
+    root.dumpJson(os);
+
+    const JsonValue v = parseJson(os.str());
+    const JsonValue *scalars = v.find("scalars");
+    ASSERT_NE(scalars, nullptr);
+    const JsonValue *cycles = scalars->find("cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->number, 123.0);
+
+    const JsonValue *groups = v.find("groups");
+    ASSERT_NE(groups, nullptr);
+    const JsonValue *ddr = groups->find("ddr");
+    ASSERT_NE(ddr, nullptr);
+    const JsonValue *hists = ddr->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *lat = hists->find("readLatency");
+    ASSERT_NE(lat, nullptr);
+    for (const char *key : {"samples", "mean", "min", "max", "p50",
+                            "p95", "p99"}) {
+        ASSERT_NE(lat->find(key), nullptr) << key;
+    }
+    EXPECT_DOUBLE_EQ(lat->find("samples")->number, 32.0);
+    EXPECT_LE(lat->find("p50")->number, lat->find("p95")->number);
+    EXPECT_LE(lat->find("p95")->number, lat->find("p99")->number);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    const JsonValue v = parseJson(
+        R"({"a": [1, 2.5, -3e2], "b": {"c": "x\"y\n"}, "d": true,)"
+        R"( "e": null})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+    const JsonValue *c = v.find("b")->find("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->string, "x\"y\n");
+    EXPECT_TRUE(v.find("d")->boolean);
+    EXPECT_EQ(v.find("e")->type, JsonValue::Type::Null);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), ConfigError);
+    EXPECT_THROW(parseJson("[1, ]"), ConfigError);
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), ConfigError);
+    EXPECT_THROW(parseJson("\"unterminated"), ConfigError);
 }
 
 TEST(Stats, GroupHierarchyAndLookup)

@@ -56,7 +56,59 @@ TEST(ProbeSet, CsvRoundTrip)
     sim.run(3);
     std::ostringstream os;
     probe.writeCsv(os);
-    EXPECT_EQ(os.str(), "cycle,a,b\n0,1.5,0\n1,1.5,1\n2,1.5,2\n");
+    EXPECT_EQ(os.str(),
+              "# period=1\ncycle,a,b\n0,1.5,0\n1,1.5,1\n2,1.5,2\n");
+}
+
+TEST(ProbeSet, CsvEscapesSignalNames)
+{
+    Simulator sim;
+    ProbeSet probe(sim, "probe", 2);
+    // Names with commas and quotes must round-trip through the CSV
+    // header unambiguously: quoted, with embedded quotes doubled.
+    probe.add("queue,depth", [] { return 1.0; });
+    probe.add("busy \"pct\"", [] { return 2.0; });
+    sim.run(1);
+    std::ostringstream os;
+    probe.writeCsv(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out, "# period=2\n"
+                   "cycle,\"queue,depth\",\"busy \"\"pct\"\"\"\n"
+                   "0,1,2\n");
+
+    // Parse the header back with a minimal quote-aware splitter and
+    // check the original names reappear.
+    std::string header = out.substr(out.find('\n') + 1);
+    header = header.substr(0, header.find('\n'));
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        const char c = header[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < header.size() &&
+                header[i + 1] == '"') {
+                cur += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "cycle");
+    EXPECT_EQ(fields[1], "queue,depth");
+    EXPECT_EQ(fields[2], "busy \"pct\"");
 }
 
 TEST(ProbeSet, SparklinesRenderEverySignal)

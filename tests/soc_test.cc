@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "accel/vecadd.h"
+#include "base/json.h"
 #include "platform/aws_f1.h"
 #include "platform/kria.h"
 #include "platform/sim_platform.h"
 #include "runtime/fpga_handle.h"
+#include "trace/trace.h"
 
 namespace beethoven
 {
@@ -215,6 +219,60 @@ TEST(Soc, PureComputeAcceleratorHasNoMemoryFabric)
     fpga_handle_t handle(server);
     EXPECT_EQ(handle.invoke("Compute", "double_it", 0, {21}).get(),
               42u);
+}
+
+TEST(Soc, TraceRecordsEndToEndCommandSpan)
+{
+    // Dispatch one vecadd command with a sink attached and check the
+    // recorded cmd span against the wall-clock cycle delta observed
+    // through the Simulator itself.
+    SimulationPlatform platform;
+    AcceleratorSoc soc(AcceleratorConfig(minimalSystem()), platform);
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+
+    remote_ptr mem = handle.malloc(1024);
+    for (u64 i = 0; i < 1024; ++i)
+        mem.getHostAddr()[i] = static_cast<u8>(i);
+    handle.copy_to_fpga(mem);
+
+    TraceSink sink;
+    soc.sim().attachTrace(&sink);
+    const Cycle before = soc.sim().cycle();
+    handle.invoke("Sys", "my_accel", 0, {1, mem.getFpgaAddr(), 256})
+        .get();
+    const Cycle after = soc.sim().cycle();
+    soc.sim().attachTrace(nullptr);
+    ASSERT_GT(after, before);
+    ASSERT_TRUE(sink.hasCategory("cmd"));
+
+    std::ostringstream os;
+    sink.writeChromeTrace(os);
+    const JsonValue root = parseJson(os.str());
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // The MMIO-level dispatch->completion span must lie inside the
+    // invoke's cycle window and cover most of it: the handle returns
+    // only after the response crosses back over MMIO.
+    const JsonValue *cmd_span = nullptr;
+    for (const JsonValue &e : events->array) {
+        const JsonValue *cat = e.find("cat");
+        const JsonValue *ph = e.find("ph");
+        if (cat != nullptr && cat->string == "cmd" && ph != nullptr &&
+            ph->string == "X" && e.find("name")->string == "cmd")
+            cmd_span = &e;
+    }
+    ASSERT_NE(cmd_span, nullptr);
+    const double ts = cmd_span->find("ts")->number;
+    const double dur = cmd_span->find("dur")->number;
+    EXPECT_GT(dur, 0.0);
+    EXPECT_GE(ts, double(before));
+    EXPECT_LE(ts + dur, double(after));
+    EXPECT_GT(dur, 0.5 * double(after - before));
+
+    // The same run also produced core-exec and memory-stream spans.
+    EXPECT_TRUE(sink.hasCategory("mem"));
 }
 
 } // namespace

@@ -62,7 +62,7 @@ copyCycles(const Platform &platform, const MemcpyCore::Variant &variant,
         .invoke("MemcpySystem", "do_memcpy", 0,
                 {src.getFpgaAddr(), dst.getFpgaAddr(), len})
         .get();
-    cli.recordStats(label, soc.sim().stats());
+    cli.recordStats(label, soc.sim());
     return static_cast<MemcpyCore &>(soc.core("MemcpySystem", 0))
         .lastKernelCycles();
 }

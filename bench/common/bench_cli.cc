@@ -1,10 +1,16 @@
 #include "common/bench_cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include "base/json.h"
+#include "base/log.h"
+#include "sim/simulator.h"
+#include "trace/bottleneck.h"
 
 namespace beethoven
 {
@@ -18,6 +24,10 @@ BenchCli::BenchCli(int &argc, char **argv)
             _tracePath = arg + 8;
         } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
             _statsPath = arg + 13;
+        } else if (std::strncmp(arg, "--stall-report=", 15) == 0) {
+            _stallReportPath = arg + 15;
+        } else if (std::strncmp(arg, "--watchdog=", 11) == 0) {
+            _watchdog = std::strtoull(arg + 11, nullptr, 10);
         } else if (std::strcmp(arg, "--quick") == 0) {
             _quick = true;
         } else {
@@ -26,18 +36,72 @@ BenchCli::BenchCli(int &argc, char **argv)
     }
     argc = out;
     argv[argc] = nullptr;
+
+    // Fail unwritable output paths before any simulation runs. The
+    // append-mode probe creates missing files but never truncates an
+    // existing one another process might still be reading.
+    auto probe = [](const std::string &path, const char *what) {
+        if (path.empty())
+            return;
+        std::ofstream f(path, std::ios::app);
+        if (!f) {
+            std::cerr << "cannot open " << what << " file " << path
+                      << " for writing\n";
+            std::exit(2);
+        }
+    };
+    probe(_tracePath, "trace");
+    probe(_statsPath, "stats");
+    probe(_stallReportPath, "stall report");
+
     if (!_tracePath.empty())
         _sink = std::make_unique<TraceSink>();
 }
 
 void
+BenchCli::armWatchdog(Simulator &sim) const
+{
+    if (_watchdog != 0)
+        sim.setWatchdog(_watchdog);
+}
+
+void
 BenchCli::recordStats(const std::string &label, const StatGroup &stats)
 {
-    if (_statsPath.empty())
+    if (_statsPath.empty() && _stallReportPath.empty())
         return;
     std::ostringstream oss;
     stats.dumpJson(oss);
     _statsJson.emplace_back(label, oss.str());
+}
+
+void
+BenchCli::recordStats(const std::string &label, Simulator &sim)
+{
+    sim.publishStallStats();
+    recordStats(label, sim.stats());
+}
+
+std::string
+BenchCli::combinedStatsJson() const
+{
+    std::ostringstream oss;
+    oss << "{";
+    bool first = true;
+    for (const auto &[label, json] : _statsJson) {
+        if (!first)
+            oss << ",\n";
+        first = false;
+        oss << "\"";
+        for (char c : label) {
+            if (c == '"' || c == '\\')
+                oss << '\\';
+            oss << c;
+        }
+        oss << "\":" << json;
+    }
+    oss << "}\n";
+    return oss.str();
 }
 
 int
@@ -63,21 +127,25 @@ BenchCli::finish()
             std::cerr << "cannot open stats file " << _statsPath << "\n";
             rc = 1;
         } else {
-            f << "{";
-            bool first = true;
-            for (const auto &[label, json] : _statsJson) {
-                if (!first)
-                    f << ",\n";
-                first = false;
-                f << "\"";
-                for (char c : label) {
-                    if (c == '"' || c == '\\')
-                        f << '\\';
-                    f << c;
-                }
-                f << "\":" << json;
+            f << combinedStatsJson();
+        }
+    }
+    if (!_stallReportPath.empty()) {
+        try {
+            const std::vector<RunStallReport> runs =
+                analyzeStallStats(parseJson(combinedStatsJson()));
+            writeBottleneckTable(std::cout, runs, /*top_n=*/5);
+            std::ofstream f(_stallReportPath);
+            if (!f) {
+                std::cerr << "cannot open stall report file "
+                          << _stallReportPath << "\n";
+                rc = 1;
+            } else {
+                writeBottleneckJson(f, runs);
             }
-            f << "}\n";
+        } catch (const ConfigError &e) {
+            std::cerr << "stall report failed: " << e.what() << "\n";
+            rc = 1;
         }
     }
     return rc;

@@ -6,13 +6,21 @@
  * observability flags from argv before the bench (or google-benchmark)
  * sees them:
  *
- *   --trace=FILE       attachable Chrome-trace sink; FILE gets the
- *                      trace_event JSON, and a text summary + cycle
- *                      profile are printed after the run
- *   --stats-json=FILE  machine-readable stats: one JSON object per
- *                      recordStats() label
- *   --quick            benches that honor it shrink their sweep (used
- *                      by the ctest observability fixture)
+ *   --trace=FILE        attachable Chrome-trace sink; FILE gets the
+ *                       trace_event JSON, and a text summary + cycle
+ *                       profile are printed after the run
+ *   --stats-json=FILE   machine-readable stats: one JSON object per
+ *                       recordStats() label
+ *   --stall-report=FILE bottleneck analysis of the stall-attribution
+ *                       stats: ranked table on stdout, JSON to FILE
+ *   --watchdog=N        arm the simulator hang watchdog (abort after N
+ *                       cycles without forward progress; 0 = off)
+ *   --quick             benches that honor it shrink their sweep (used
+ *                       by the ctest observability fixture)
+ *
+ * Output paths are probe-opened at startup: a path that cannot be
+ * written (missing directory, no permission) is a fatal usage error
+ * (exit 2) before any simulation runs, not a surprise after it.
  *
  * The sink is owned here; benches attach it per-run with
  * `soc.sim().attachTrace(cli.sink())` (a nullptr attach is a no-op
@@ -33,6 +41,8 @@
 namespace beethoven
 {
 
+class Simulator;
+
 class BenchCli
 {
   public:
@@ -45,6 +55,9 @@ class BenchCli
     bool quick() const { return _quick; }
     bool tracing() const { return _sink != nullptr; }
 
+    /** Arm @p sim's hang watchdog when --watchdog=N was given. */
+    void armWatchdog(Simulator &sim) const;
+
     /**
      * Snapshot @p stats as JSON under @p label. Serializes immediately
      * so the caller may destroy the SoC afterwards.
@@ -52,15 +65,28 @@ class BenchCli
     void recordStats(const std::string &label, const StatGroup &stats);
 
     /**
-     * Write the trace and stats files (if requested) and print the
-     * trace summary + cycle profile. @return process exit code.
+     * Publish @p sim's stall accounts into its stats tree, then
+     * snapshot them under @p label. Benches use this overload so the
+     * stall-attribution scalars land in --stats-json / --stall-report
+     * output.
+     */
+    void recordStats(const std::string &label, Simulator &sim);
+
+    /**
+     * Write the trace, stats and stall-report files (if requested) and
+     * print the trace summary + cycle profile. @return process exit
+     * code.
      */
     int finish();
 
   private:
+    std::string combinedStatsJson() const;
+
     std::string _tracePath;
     std::string _statsPath;
+    std::string _stallReportPath;
     bool _quick = false;
+    u64 _watchdog = 0;
     std::unique_ptr<TraceSink> _sink;
     std::vector<std::pair<std::string, std::string>> _statsJson;
 };

@@ -48,6 +48,7 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
         sink->beginProcess(label);
         soc.sim().attachTrace(sink);
     }
+    cli.armWatchdog(soc.sim());
 
     remote_ptr src = handle.malloc(len);
     remote_ptr dst = handle.malloc(len);
@@ -60,7 +61,7 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
         .get();
     auto &core =
         static_cast<MemcpyCore &>(soc.core("MemcpySystem", 0));
-    cli.recordStats(label, soc.sim().stats());
+    cli.recordStats(label, soc.sim());
     return core.lastKernelCycles();
 }
 
@@ -80,11 +81,12 @@ rawCopyCycles(const RawAxiMemcpy::Params &params, u64 len, BenchCli &cli,
         sink->beginProcess(label);
         sim.attachTrace(sink);
     }
+    cli.armWatchdog(sim);
     engine.start(0x100000, 0x4000000, len);
     const Cycle start = sim.cycle();
     if (!sim.runUntil([&] { return engine.done(); }, 100'000'000ULL))
         fatal("raw copy did not complete");
-    cli.recordStats(label, sim.stats());
+    cli.recordStats(label, sim);
     return sim.cycle() - start;
 }
 

@@ -57,7 +57,7 @@ runRaw(const char *title, const RawAxiMemcpy::Params &params,
         fatal("copy did not complete");
     std::printf("\n%s\n", title);
     ctrl.timeline().render(std::cout, 100);
-    cli.recordStats(label, sim.stats());
+    cli.recordStats(label, sim);
 }
 
 void
@@ -88,7 +88,7 @@ runBeethoven(const char *title, const MemcpyCore::Variant &variant,
     soc.dram().timeline().setEnabled(false);
     std::printf("\n%s\n", title);
     soc.dram().timeline().render(std::cout, 100);
-    cli.recordStats(label, soc.sim().stats());
+    cli.recordStats(label, soc.sim());
 }
 
 } // namespace

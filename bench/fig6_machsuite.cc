@@ -147,7 +147,7 @@ runKernel(const KernelDriver &driver,
     r.measuredOps = total_ops * clock_hz / double(wall);
     r.coresSimulated = n_cores;
     r.coresFit = fit;
-    cli.recordStats(driver.name, soc.sim().stats());
+    cli.recordStats(driver.name, soc.sim());
     return r;
 }
 

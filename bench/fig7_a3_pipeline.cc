@@ -34,6 +34,7 @@ main(int argc, char **argv)
         sink->beginProcess("a3");
         soc.sim().attachTrace(sink);
     }
+    cli.armWatchdog(soc.sim());
 
     const unsigned n_keys = 320, n_queries = 128;
     Rng rng(3);
@@ -110,6 +111,6 @@ main(int argc, char **argv)
                 "occupied (they overlap across queries),\n"
                 "# and steady-state cost approaches one key row per "
                 "cycle.\n");
-    cli.recordStats("a3", soc.sim().stats());
+    cli.recordStats("a3", soc.sim());
     return cli.finish();
 }

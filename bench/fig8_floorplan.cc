@@ -96,6 +96,6 @@ main(int argc, char **argv)
                 "all three SLRs, with more cores on the\n"
                 "# shell-free SLR2 (\"the shell consumed significant "
                 "resources only on SLR0/1\").\n");
-    cli.recordStats("floorplan", soc.sim().stats());
+    cli.recordStats("floorplan", soc.sim());
     return cli.finish();
 }

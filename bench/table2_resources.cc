@@ -158,6 +158,6 @@ main(int argc, char **argv)
                 "and ~8-URAM variants across cores;\n"
                 "# the paper's design: 23 cores, 94.3%% CLB total, "
                 "Beethoven 737K LUT / 518 BRAM / 576 URAM.\n");
-    cli.recordStats("a3-resources", soc.sim().stats());
+    cli.recordStats("a3-resources", soc.sim());
     return cli.finish();
 }

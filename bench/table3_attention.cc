@@ -118,7 +118,7 @@ simulatedOpsPerSecond(const Platform &platform, unsigned n_cores,
             soc.floorplan().totalUsed() + soc.floorplan().totalShell();
         *out_watts = platform.powerModel().watts(design);
     }
-    cli.recordStats(label, soc.sim().stats());
+    cli.recordStats(label, soc.sim());
     const double total_ops = double(queries_per_core) * n_cores;
     return total_ops * platform.clockMHz() * 1e6 / double(wall);
 }

@@ -51,23 +51,34 @@ MemcpyCore::tick()
     switch (_state) {
       case State::Idle: {
         auto cmd = pollCommand();
-        if (!cmd)
+        if (!cmd) {
+            accountCycle(StallClass::StallCmd);
             return;
+        }
         _cmd = *cmd;
         _lastStart = sim().cycle();
-        const Addr src = cmd->args[argSrc];
-        const Addr dst = cmd->args[argDst];
         const u64 len = cmd->args[argLenBytes];
         if (len == 0) {
             _lastEnd = _lastStart;
             _state = State::Respond;
+            accountCycle(StallClass::Busy);
             return;
         }
+        _pendingSrc = cmd->args[argSrc];
+        _pendingDst = cmd->args[argDst];
+        _pendingLen = len;
         _wordsLeft = len / _reader.params().dataBytes;
+        _state = State::Launch;
+        [[fallthrough]]; // try to launch in the accept cycle
+      }
+      case State::Launch: {
         if (_reader.cmdPort().canPush() && _writer.cmdPort().canPush()) {
-            _reader.cmdPort().push({src, len});
-            _writer.cmdPort().push({dst, len});
+            _reader.cmdPort().push({_pendingSrc, _pendingLen});
+            _writer.cmdPort().push({_pendingDst, _pendingLen});
             _state = State::Streaming;
+            accountCycle(StallClass::Busy);
+        } else {
+            accountCycle(StallClass::StallDownstream);
         }
         return;
       }
@@ -77,6 +88,11 @@ MemcpyCore::tick()
             _writer.dataPort().push(_reader.dataPort().pop());
             if (--_wordsLeft == 0)
                 _state = State::WaitWriter;
+            accountCycle(StallClass::Busy);
+        } else if (!_reader.dataPort().canPop()) {
+            accountCycle(StallClass::StallUpstream);
+        } else {
+            accountCycle(StallClass::StallDownstream);
         }
         return;
       }
@@ -85,12 +101,19 @@ MemcpyCore::tick()
             _writer.donePort().pop();
             _lastEnd = sim().cycle();
             _state = State::Respond;
+            accountCycle(StallClass::Busy);
+        } else {
+            accountCycle(StallClass::StallMem);
         }
         return;
       }
       case State::Respond: {
-        if (respond(_cmd))
+        if (respond(_cmd)) {
             _state = State::Idle;
+            accountCycle(StallClass::Busy);
+        } else {
+            accountCycle(StallClass::StallDownstream);
+        }
         return;
       }
     }

@@ -50,7 +50,7 @@ class MemcpyCore : public AcceleratorCore
     Cycle lastKernelCycles() const { return _lastEnd - _lastStart; }
 
   private:
-    enum class State { Idle, Streaming, WaitWriter, Respond };
+    enum class State { Idle, Launch, Streaming, WaitWriter, Respond };
 
     Reader &_reader;
     Writer &_writer;
@@ -58,6 +58,12 @@ class MemcpyCore : public AcceleratorCore
     State _state = State::Idle;
     u64 _wordsLeft = 0;
     DecodedCommand _cmd;
+    /** Launch operands held while the reader/writer cmd ports are
+     *  full. Without this holding state a command accepted in Idle
+     *  would be dropped when the ports can't take it that cycle. */
+    Addr _pendingSrc = 0;
+    Addr _pendingDst = 0;
+    u64 _pendingLen = 0;
     Cycle _lastStart = 0;
     Cycle _lastEnd = 0;
 };

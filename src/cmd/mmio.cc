@@ -22,7 +22,8 @@ MmioCommandSystem::MmioCommandSystem(Simulator &sim, std::string name,
                                      std::size_t queue_depth)
     : Module(sim, std::move(name)),
       _cmdOut(sim, queue_depth),
-      _respIn(sim, queue_depth)
+      _respIn(sim, queue_depth),
+      _stall(sim, Module::name())
 {
     StatHistogram &h =
         sim.stats().group(Module::name()).histogram("cmdLatency");
@@ -94,7 +95,9 @@ MmioCommandSystem::read32(u32 offset) const
 void
 MmioCommandSystem::tick()
 {
+    bool did = false;
     if (_submitPending && _cmdOut.canPush()) {
+        did = true;
         RoccCommand beat;
         beat.inst = _stage[0];
         beat.rs1 = u64(_stage[1]) | (u64(_stage[2]) << 32);
@@ -109,6 +112,7 @@ MmioCommandSystem::tick()
         _submitPending = false;
     }
     if (!_respHeld && _respIn.canPop()) {
+        did = true;
         _respReg = _respIn.pop();
         _respHeld = true;
         _respReadIdx = 0;
@@ -130,6 +134,14 @@ MmioCommandSystem::tick()
             _cmdStart.erase(it);
         }
     }
+    if (did)
+        _stall.account(StallClass::Busy);
+    else if (_submitPending || _respHeld)
+        _stall.account(StallClass::StallDownstream);
+    else if (!_cmdStart.empty())
+        _stall.account(StallClass::StallUpstream);
+    else
+        _stall.account(StallClass::StallCmd);
 }
 
 } // namespace beethoven

@@ -32,6 +32,7 @@
 #include "cmd/rocc.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -87,6 +88,7 @@ class MmioCommandSystem : public Module
      */
     std::map<u64, Cycle> _cmdStart;
     StatHistogram *_cmdLatency;
+    StallAccount _stall;
 };
 
 } // namespace beethoven

@@ -7,7 +7,7 @@ namespace beethoven
 {
 
 AcceleratorCore::AcceleratorCore(const CoreContext &ctx)
-    : Module(*ctx.sim, ctx.name), _ctx(ctx)
+    : Module(*ctx.sim, ctx.name), _ctx(ctx), _stall(*ctx.sim, ctx.name)
 {
     beethoven_assert(_ctx.systemConfig != nullptr,
                      "core %s constructed without a system config",

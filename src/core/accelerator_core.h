@@ -32,6 +32,7 @@
 #include "mem/writer.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -97,8 +98,16 @@ class AcceleratorCore : public Module
 
     const CoreContext &context() const { return _ctx; }
 
+    /**
+     * Classify the current cycle for stall attribution. Cores that
+     * never call it are reported as fully idle (the account backfills
+     * Idle on publish), so instrumentation is opt-in per core.
+     */
+    void accountCycle(StallClass c) { _stall.account(c); }
+
   private:
     CoreContext _ctx;
+    StallAccount _stall;
     std::map<u32, CommandAssembler> _assemblers;
     /** Cycle each in-flight command was delivered, keyed by rd. */
     std::map<u32, Cycle> _execStart;

@@ -162,8 +162,45 @@ AcceleratorSoc::AcceleratorSoc(AcceleratorConfig config,
     wireIntraCorePorts();
     buildCores();
     buildTraceProbe();
+    registerHangDumpers();
     accountInterconnect();
     checkFit();
+}
+
+void
+AcceleratorSoc::registerHangDumpers()
+{
+    _sim.addHangDumper(
+        [this](std::ostream &os) { _dram->dumpInFlight(os); });
+    auto dump_tree = [](std::ostream &os, const std::string &track,
+                        const auto &tree) {
+        os << "  " << track << " links (nonzero occupancy):\n";
+        bool any = false;
+        tree.visitLinkOccupancy(
+            [&os, &any](const std::string &link, std::size_t occ) {
+                if (occ == 0)
+                    return;
+                any = true;
+                os << "    " << link << ": " << occ << "\n";
+            });
+        if (!any)
+            os << "    (all empty)\n";
+    };
+    _sim.addHangDumper([this, dump_tree](std::ostream &os) {
+        os << "NoC link occupancy:\n";
+        if (_arTree)
+            dump_tree(os, "noc.ar", *_arTree);
+        if (_rTree)
+            dump_tree(os, "noc.r", *_rTree);
+        if (_wTree)
+            dump_tree(os, "noc.w", *_wTree);
+        if (_bTree)
+            dump_tree(os, "noc.b", *_bTree);
+        if (_cmdTree)
+            dump_tree(os, "noc.cmd", *_cmdTree);
+        if (_respTree)
+            dump_tree(os, "noc.resp", *_respTree);
+    });
 }
 
 void

@@ -119,6 +119,7 @@ class AcceleratorSoc
     void accountInterconnect();
     void checkFit() const;
     void buildTraceProbe();
+    void registerHangDumpers();
 
     AcceleratorConfig _config;
     const Platform &_platform;

@@ -1,6 +1,7 @@
 #include "dram/controller.h"
 
 #include <algorithm>
+#include <ostream>
 
 #include "base/log.h"
 #include "trace/trace.h"
@@ -17,7 +18,8 @@ DramController::DramController(Simulator &sim, std::string name,
       _wIn(sim, cfg.portDepth),
       _rOut(sim, cfg.portDepth),
       _bOut(sim, cfg.portDepth),
-      _banks(cfg.geometry.numBanks())
+      _banks(cfg.geometry.numBanks()),
+      _stall(sim, Module::name())
 {
     StatGroup &g = sim.stats().group(Module::name());
     _statRowHits = &g.scalar("rowHits");
@@ -36,7 +38,7 @@ DramController::DramController(Simulator &sim, std::string name,
 void
 DramController::tick()
 {
-    acceptRequests();
+    bool did = acceptRequests();
     // All-bank refresh: every tREFI the banks precharge and the device
     // is unavailable for tRFC. Requests keep queueing meanwhile.
     const Cycle now = sim().cycle();
@@ -51,21 +53,30 @@ DramController::tick()
         ++*_statRefreshes;
     }
     if (now < _refreshUntil) {
-        sendReadData(); // buffered data may still drain
-        sendWriteResponses();
+        const ServiceResult rd = sendReadData(); // data may still drain
+        const ServiceResult wr = sendWriteResponses();
+        if (rd == ServiceResult::Done || wr == ServiceResult::Done)
+            did = true;
+        accountCycle(did, rd, wr, /*in_refresh=*/true);
         return;
     }
     const auto cands = gatherCandidates();
-    scheduleColumn(cands);
-    scheduleRowCommands(cands);
-    sendReadData();
-    sendWriteResponses();
+    const bool col = scheduleColumn(cands);
+    if (scheduleRowCommands(cands))
+        did = true;
+    const ServiceResult rd = sendReadData();
+    const ServiceResult wr = sendWriteResponses();
+    if (col || rd == ServiceResult::Done || wr == ServiceResult::Done)
+        did = true;
+    trackIdWaits(col);
+    accountCycle(did, rd, wr, /*in_refresh=*/false);
 }
 
-void
+bool
 DramController::acceptRequests()
 {
     const Cycle now = sim().cycle();
+    bool did = false;
 
     if (_arIn.canPop() && _reads.size() < _cfg.maxOutstandingReads) {
         ReadRequest req = _arIn.pop();
@@ -86,13 +97,14 @@ DramController::acceptRequests()
         _reads.emplace(req.tag, std::move(txn));
         _timeline.record({now, AxiChannel::AR, req.id, req.tag, req.addr,
                           req.beats, false});
+        did = true;
     }
 
     if (_wIn.canPop()) {
         const WriteFlit &flit = _wIn.front();
         if (flit.hasHeader) {
             if (_writes.size() >= _cfg.maxOutstandingWrites)
-                return; // stall the W channel until a slot frees
+                return did; // stall the W channel until a slot frees
             WriteFlit f = _wIn.pop();
             WriteTxn txn;
             txn.seq = _seqCounter++;
@@ -118,6 +130,7 @@ DramController::acceptRequests()
             _writes.emplace(tag, std::move(txn));
             _fillingWrite = tag;
             _hasFilling = !complete;
+            did = true;
         } else {
             beethoven_assert(_hasFilling,
                              "W data beat with no open write burst");
@@ -128,6 +141,7 @@ DramController::acceptRequests()
             const bool last = f.beat.last;
             txn.data.push_back(std::move(f.beat));
             ++txn.beatsReceived;
+            did = true;
             if (last) {
                 beethoven_assert(txn.beatsReceived == txn.beats,
                                  "write burst ended after %u/%u beats",
@@ -136,6 +150,7 @@ DramController::acceptRequests()
             }
         }
     }
+    return did;
 }
 
 std::vector<DramController::Candidate>
@@ -201,12 +216,12 @@ DramController::gatherCandidates() const
     return cands;
 }
 
-void
+bool
 DramController::scheduleColumn(const std::vector<Candidate> &cands)
 {
     const Cycle now = sim().cycle();
     if (_anyColIssued && now <= _lastColAt)
-        return; // data bus already used this cycle
+        return false; // data bus already used this cycle
 
     // Write-drain mode switching (watermark policy): service reads
     // until enough write beats have buffered up (or no reads remain),
@@ -260,7 +275,7 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
     if (best == nullptr)
         best = pick(!_writeDrainMode);
     if (best == nullptr)
-        return;
+        return false;
     const Candidate chosen = *best;
 
     BankState &bank = _banks[chosen.coord.bank];
@@ -276,6 +291,7 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
 
     if (chosen.isWrite) {
         WriteTxn &txn = _writes.at(chosen.txnKey);
+        _lastColId = txn.id;
         const WriteBeat &beat = txn.data[chosen.beatIdx];
         _mem.writeMasked(chosen.beatAddr, beat.data, beat.strb);
         txn.issued[chosen.beatIdx] = true;
@@ -287,6 +303,7 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
         ++*_statColWrites;
     } else {
         ReadTxn &txn = _reads.at(chosen.txnKey);
+        _lastColId = txn.id;
         txn.beatReadyAt[chosen.beatIdx] = now + _cfg.timing.tCAS;
         auto &data = txn.beatData[chosen.beatIdx];
         data.resize(_cfg.axi.dataBytes);
@@ -299,9 +316,10 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
         }
         ++*_statColReads;
     }
+    return true;
 }
 
-void
+bool
 DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
 {
     const Cycle now = sim().cycle();
@@ -361,7 +379,7 @@ DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
                 bank.actReadyAt = std::max(bank.actReadyAt,
                                            now + _cfg.timing.tRP);
                 ++*_statRowMisses;
-                return;
+                return true;
             }
             continue;
         }
@@ -380,20 +398,33 @@ DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
         bank.preReadyAt = now + _cfg.timing.tRAS;
         _nextActAt = now + _cfg.timing.tRRD;
         _recentActs.push_back(now);
-        return;
+        return true;
     }
+    return false;
 }
 
-void
+DramController::ServiceResult
 DramController::sendReadData()
 {
-    if (!_rOut.canPush())
-        return;
     const Cycle now = sim().cycle();
+    if (_readOrder.empty())
+        return ServiceResult::None;
+    if (!_rOut.canPush()) {
+        // Anything ready to go? Then the port is the bottleneck.
+        for (const auto &[id, q] : _readOrder) {
+            if (q.empty())
+                continue;
+            const ReadTxn &txn = _reads.at(q.front());
+            if (txn.beatsSent < txn.beats &&
+                txn.beatReadyAt[txn.beatsSent] != 0 &&
+                now >= txn.beatReadyAt[txn.beatsSent]) {
+                return ServiceResult::Blocked;
+            }
+        }
+        return ServiceResult::None;
+    }
     // Round-robin across IDs; within an ID only the head transaction's
     // in-order next beat may be sent (AXI burst + same-ID ordering).
-    if (_readOrder.empty())
-        return;
     auto start = _readOrder.lower_bound(_rrReadId);
     if (start == _readOrder.end())
         start = _readOrder.begin();
@@ -441,21 +472,32 @@ DramController::sendReadData()
                         _readOrder.erase(it);
                     }
                 }
-                return;
+                return ServiceResult::Done;
             }
         }
         ++it;
         if (it == _readOrder.end())
             it = _readOrder.begin();
     } while (it != start);
+    return ServiceResult::None;
 }
 
-void
+DramController::ServiceResult
 DramController::sendWriteResponses()
 {
-    if (!_bOut.canPush())
-        return;
     const Cycle now = sim().cycle();
+    if (!_bOut.canPush()) {
+        for (const auto &[id, q] : _writeOrder) {
+            if (q.empty())
+                continue;
+            const WriteTxn &txn = _writes.at(q.front());
+            if (txn.beatsReceived == txn.beats &&
+                txn.beatsIssued == txn.beats) {
+                return ServiceResult::Blocked;
+            }
+        }
+        return ServiceResult::None;
+    }
     for (auto it = _writeOrder.begin(); it != _writeOrder.end(); ++it) {
         auto &q = it->second;
         if (q.empty())
@@ -486,8 +528,119 @@ DramController::sendWriteResponses()
                     now + _cfg.sameIdRecycleCycles;
             else
                 _writeOrder.erase(it);
-            return;
+            return ServiceResult::Done;
         }
+    }
+    return ServiceResult::None;
+}
+
+StatScalar &
+DramController::idWaitScalar(bool is_write, u32 id, const char *kind)
+{
+    auto key = std::make_pair(is_write, id);
+    auto it = _idWaits.find(key);
+    if (it == _idWaits.end()) {
+        StatGroup &g = sim()
+                           .stats()
+                           .group(name())
+                           .group("ids")
+                           .group((is_write ? "wr" : "rd") +
+                                  std::to_string(id));
+        it = _idWaits
+                 .emplace(key, std::make_pair(&g.scalar("queueWait"),
+                                              &g.scalar("bankWait")))
+                 .first;
+    }
+    return *(kind[0] == 'q' ? it->second.first : it->second.second);
+}
+
+void
+DramController::trackIdWaits(bool col_issued)
+{
+    // For every AXI ID with a pending head transaction that did not get
+    // a column command this cycle, attribute the wait: same-ID
+    // reorder-slot recycle (queueWait) vs. bank timing / arbitration
+    // (bankWait). This is the per-ID split behind the fig5 latency gap.
+    const Cycle now = sim().cycle();
+    for (const auto &[id, q] : _readOrder) {
+        if (q.empty())
+            continue;
+        if (col_issued && !_lastColWasWrite && _lastColId == id)
+            continue;
+        auto gate = _readIdReadyAt.find(id);
+        if (gate != _readIdReadyAt.end() && now < gate->second) {
+            ++idWaitScalar(false, id, "queueWait");
+            continue;
+        }
+        const ReadTxn &txn = _reads.at(q.front());
+        if (txn.firstUnissued < txn.beats)
+            ++idWaitScalar(false, id, "bankWait");
+    }
+    for (const auto &[id, q] : _writeOrder) {
+        if (q.empty())
+            continue;
+        if (col_issued && _lastColWasWrite && _lastColId == id)
+            continue;
+        auto gate = _writeIdReadyAt.find(id);
+        if (gate != _writeIdReadyAt.end() && now < gate->second) {
+            ++idWaitScalar(true, id, "queueWait");
+            continue;
+        }
+        const WriteTxn &txn = _writes.at(q.front());
+        if (txn.firstUnissued < txn.beatsReceived)
+            ++idWaitScalar(true, id, "bankWait");
+    }
+}
+
+void
+DramController::accountCycle(bool did, ServiceResult rd, ServiceResult wr,
+                             bool in_refresh)
+{
+    if (did) {
+        _stall.account(StallClass::Busy);
+        return;
+    }
+    if (rd == ServiceResult::Blocked || wr == ServiceResult::Blocked) {
+        _stall.account(StallClass::StallDownstream);
+        return;
+    }
+    if (_reads.empty() && _writes.empty() && !_arIn.canPop() &&
+        !_wIn.canPop()) {
+        _stall.account(StallClass::Idle);
+        return;
+    }
+    if (in_refresh) {
+        _stall.account(StallClass::StallMem);
+        return;
+    }
+    if (_reads.empty() && !_writes.empty() && _hasFilling) {
+        // Only writes in flight and a burst is mid-fill: waiting on the
+        // producer to deliver W beats.
+        _stall.account(StallClass::StallUpstream);
+        return;
+    }
+    // Bank timing, recycle gates, turnaround — the device itself.
+    _stall.account(StallClass::StallMem);
+}
+
+void
+DramController::dumpInFlight(std::ostream &os) const
+{
+    const Cycle now = sim().cycle();
+    os << name() << " in-flight: " << _reads.size() << " reads, "
+       << _writes.size() << " writes\n";
+    for (const auto &[tag, txn] : _reads) {
+        os << "  rd tag=" << tag << " id=" << txn.id << " addr=0x"
+           << std::hex << txn.addr << std::dec << " beats=" << txn.beats
+           << " issued=" << txn.beatsIssued << " sent=" << txn.beatsSent
+           << " age=" << (now - txn.acceptedAt) << "\n";
+    }
+    for (const auto &[tag, txn] : _writes) {
+        os << "  wr tag=" << tag << " id=" << txn.id << " addr=0x"
+           << std::hex << txn.addr << std::dec << " beats=" << txn.beats
+           << " received=" << txn.beatsReceived
+           << " issued=" << txn.beatsIssued
+           << " age=" << (now - txn.acceptedAt) << "\n";
     }
 }
 

@@ -20,6 +20,7 @@
 #define BEETHOVEN_DRAM_CONTROLLER_H
 
 #include <deque>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "dram/timing.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -79,6 +81,9 @@ class DramController : public Module
 
     /** Total data beats moved (reads + writes), for utilization stats. */
     u64 beatsServed() const { return _beatsServed; }
+
+    /** Dump all in-flight transactions (for hang diagnostics). */
+    void dumpInFlight(std::ostream &os) const;
 
     void tick() override;
 
@@ -134,13 +139,27 @@ class DramController : public Module
         DramCoord coord;
     };
 
-    void acceptRequests();
-    void scheduleColumn(const std::vector<Candidate> &cands);
-    void scheduleRowCommands(const std::vector<Candidate> &cands);
-    void sendReadData();
-    void sendWriteResponses();
+    /** Outcome of an output-side service attempt. */
+    enum class ServiceResult
+    {
+        None,   ///< nothing to send
+        Done,   ///< sent a beat / response
+        Blocked ///< had something to send but the port was full
+    };
+
+    bool acceptRequests();
+    bool scheduleColumn(const std::vector<Candidate> &cands);
+    bool scheduleRowCommands(const std::vector<Candidate> &cands);
+    ServiceResult sendReadData();
+    ServiceResult sendWriteResponses();
 
     std::vector<Candidate> gatherCandidates() const;
+
+    /** Classify the cycle and update the per-AXI-ID wait counters. */
+    void accountCycle(bool did, ServiceResult rd, ServiceResult wr,
+                      bool in_refresh);
+    void trackIdWaits(bool col_issued);
+    StatScalar &idWaitScalar(bool is_write, u32 id, const char *kind);
 
     Config _cfg;
     FunctionalMemory &_mem;
@@ -165,6 +184,7 @@ class DramController : public Module
     Cycle _lastColAt = 0;
     bool _lastColWasWrite = false;
     bool _anyColIssued = false;
+    u32 _lastColId = 0; ///< AXI ID served by the last column command
 
     u64 _seqCounter = 0;
     u64 _beatsServed = 0;
@@ -183,6 +203,13 @@ class DramController : public Module
     StatScalar *_statRefreshes;
     StatHistogram *_readLatency;  ///< AR accept -> last R beat
     StatHistogram *_writeLatency; ///< AW accept -> B response
+
+    StallAccount _stall;
+    /** Per-AXI-ID stall split, keyed by (isWrite, id): cycles the ID's
+     *  head transaction waited on the same-ID reorder slot (queueWait)
+     *  vs. on bank timing / bus arbitration (bankWait). */
+    std::map<std::pair<bool, u32>, std::pair<StatScalar *, StatScalar *>>
+        _idWaits;
 };
 
 } // namespace beethoven

@@ -20,7 +20,8 @@ Reader::Reader(Simulator &sim, std::string name,
       _arOut(ar_out),
       _rIn(r_in),
       _cmdQ(sim, params.cmdQueueDepth),
-      _dataQ(sim, params.dataQueueDepth)
+      _dataQ(sim, params.dataQueueDepth),
+      _stall(sim, Module::name())
 {
     beethoven_assert(params.dataBytes > 0, "reader port width 0");
     beethoven_assert(params.burstBeats >= 1 &&
@@ -43,21 +44,41 @@ Reader::idle() const
 void
 Reader::tick()
 {
+    bool did = false;
     if (!_active)
-        startNextCommand();
-    issueRequests();
-    receiveBeats();
-    drainToCore();
+        did |= startNextCommand();
+    if (issueRequests())
+        did = true;
+    if (receiveBeats())
+        did = true;
+    if (drainToCore())
+        did = true;
+    if (did) {
+        _stall.account(StallClass::Busy);
+        return;
+    }
+    if (!_active) {
+        // Command queued but not yet visible counts as valid-wait.
+        _stall.account(_cmdQ.occupancy() > 0 ? StallClass::StallUpstream
+                                             : StallClass::StallCmd);
+        return;
+    }
+    if (!_dataQ.canPush() ||
+        (_reqBytesLeft > 0 && !_arOut->canPush())) {
+        _stall.account(StallClass::StallDownstream);
+        return;
+    }
+    _stall.account(StallClass::StallMem);
 }
 
-void
+bool
 Reader::startNextCommand()
 {
     if (!_cmdQ.canPop())
-        return;
+        return false;
     const StreamCommand cmd = _cmdQ.pop();
     if (cmd.lenBytes == 0)
-        return; // zero-length streams complete immediately
+        return true; // zero-length streams complete immediately
     if (cmd.addr % _params.dataBytes != 0 ||
         cmd.lenBytes % _params.dataBytes != 0) {
         fatal("reader %s: stream [0x%llx, +%llu) not aligned to the "
@@ -73,15 +94,16 @@ Reader::startNextCommand()
     _drainBytesLeft = cmd.lenBytes;
     _streamStart = sim().cycle();
     _streamBytes = cmd.lenBytes;
+    return true;
 }
 
-void
+bool
 Reader::issueRequests()
 {
     if (!_active || _reqBytesLeft == 0 || !_arOut->canPush())
-        return;
+        return false;
     if (_txns.size() >= _params.maxInflight)
-        return;
+        return false;
 
     // Prefetch-buffer capacity: beats held on chip across all inflight
     // transactions. Reserved at issue, released as the core drains.
@@ -98,7 +120,7 @@ Reader::issueRequests()
         divCeil(offset + txn_bytes, _bus.dataBytes));
 
     if (_reservedBeats + beats > buffer_beats)
-        return;
+        return false;
 
     ReadRequest req;
     req.id = _idBase +
@@ -123,35 +145,37 @@ Reader::issueRequests()
     _reqBytesLeft -= txn_bytes;
     ++_txnSeq;
     ++*_statTxns;
+    return true;
 }
 
-void
+bool
 Reader::receiveBeats()
 {
     if (!_rIn->canPop())
-        return;
+        return false;
     ReadBeat beat = _rIn->pop();
     for (auto &txn : _txns) {
         if (txn.tag == beat.tag) {
             txn.bytes.insert(txn.bytes.end(), beat.data.begin(),
                              beat.data.end());
-            return;
+            return true;
         }
     }
     panic("reader %s received beat for unknown tag %llu", name().c_str(),
           static_cast<unsigned long long>(beat.tag));
+    return false;
 }
 
-void
+bool
 Reader::drainToCore()
 {
     if (!_dataQ.canPush())
-        return;
+        return false;
     // Pull bytes from the front (oldest-address) transaction into the
     // width-converter stage until one port word is complete.
     while (_wordStage.size() < _params.dataBytes) {
         if (_txns.empty())
-            return;
+            return false;
         Txn &txn = _txns.front();
         const u64 avail_end =
             std::min<u64>(txn.bytes.size() > txn.startByte
@@ -159,7 +183,7 @@ Reader::drainToCore()
                               : 0,
                           txn.validBytes);
         if (txn.drained >= avail_end)
-            return; // waiting on more beats for the front transaction
+            return false; // waiting on more beats for the front txn
         const u64 want = _params.dataBytes - _wordStage.size();
         const u64 take = std::min<u64>(want, avail_end - txn.drained);
         const u8 *src = txn.bytes.data() + txn.startByte + txn.drained;
@@ -188,6 +212,7 @@ Reader::drainToCore()
                      {{"bytes", _streamBytes}});
         }
     }
+    return true;
 }
 
 } // namespace beethoven

@@ -26,6 +26,7 @@
 #include "mem/stream_types.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -79,10 +80,11 @@ class Reader : public Module
         u64 drained = 0;       ///< valid bytes already sent to the core
     };
 
-    void startNextCommand();
-    void issueRequests();
-    void receiveBeats();
-    void drainToCore();
+    // Each sub-step reports whether it did work (for stall accounting).
+    bool startNextCommand();
+    bool issueRequests();
+    bool receiveBeats();
+    bool drainToCore();
 
     ReaderParams _params;
     AxiConfig _bus;
@@ -108,6 +110,7 @@ class Reader : public Module
     StatScalar *_statBytesRead;
     StatScalar *_statTxns;
     StatHistogram *_streamCycles; ///< per-command start -> drain done
+    StallAccount _stall;
 };
 
 } // namespace beethoven

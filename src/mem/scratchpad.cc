@@ -15,7 +15,8 @@ Scratchpad::Scratchpad(Simulator &sim, std::string name,
       _initReader(init_reader),
       _storage(static_cast<std::size_t>(params.nDatas) *
                    params.rowBytes(),
-               0)
+               0),
+      _stall(sim, Module::name())
 {
     beethoven_assert(params.nPorts >= 1, "scratchpad with zero ports");
     if (params.supportsInit) {
@@ -121,6 +122,8 @@ Scratchpad::pokeUint(u32 row, u64 value)
 void
 Scratchpad::tick()
 {
+    bool did = false;
+    bool read_blocked = false;
     // Serve each request/response port pair (one access per port).
     for (unsigned p = 0; p < _params.nPorts; ++p) {
         auto &req_q = *_reqPorts[p];
@@ -131,12 +134,16 @@ Scratchpad::tick()
         if (req.write) {
             SpadRequest w = req_q.pop();
             poke(w.row, w.data);
+            did = true;
         } else if (resp_q.canPush()) {
             SpadRequest r = req_q.pop();
             SpadResponse resp;
             resp.row = r.row;
             resp.data = peek(r.row);
             resp_q.push(std::move(resp));
+            did = true;
+        } else {
+            read_blocked = true;
         }
     }
 
@@ -147,17 +154,29 @@ Scratchpad::tick()
             beethoven_assert(w.write,
                              "read request on intra-core write port");
             poke(w.row, w.data);
+            did = true;
         }
     }
 
-    serveInit();
+    if (serveInit())
+        did = true;
+
+    if (did)
+        _stall.account(StallClass::Busy);
+    else if (read_blocked)
+        _stall.account(StallClass::StallDownstream);
+    else if (_initActive)
+        _stall.account(StallClass::StallMem);
+    else
+        _stall.account(StallClass::Idle);
 }
 
-void
+bool
 Scratchpad::serveInit()
 {
     if (!_params.supportsInit)
-        return;
+        return false;
+    bool did = false;
 
     if (!_initActive && _initQ->canPop()) {
         const SpadInitCommand cmd = _initQ->pop();
@@ -167,8 +186,9 @@ Scratchpad::serveInit()
         if (cmd.rows == 0) {
             if (_initDoneQ->canPush())
                 _initDoneQ->push(StreamDone{0});
-            return;
+            return true;
         }
+        did = true;
         _initActive = true;
         _initRow = cmd.rowOffset;
         _initRowsLeft = cmd.rows;
@@ -185,6 +205,7 @@ Scratchpad::serveInit()
         poke(_initRow, w.data);
         ++_initRow;
         --_initRowsLeft;
+        did = true;
         if (_initRowsLeft == 0) {
             _initActive = false;
             if (_initDoneQ->canPush())
@@ -194,6 +215,7 @@ Scratchpad::serveInit()
                      name().c_str());
         }
     }
+    return did;
 }
 
 } // namespace beethoven

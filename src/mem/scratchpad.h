@@ -24,6 +24,7 @@
 #include "mem/stream_types.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -97,7 +98,7 @@ class Scratchpad : public Module
     void tick() override;
 
   private:
-    void serveInit();
+    bool serveInit();
 
     ScratchpadParams _params;
     Reader *_initReader;
@@ -114,6 +115,7 @@ class Scratchpad : public Module
     bool _initActive = false;
     u32 _initRow = 0;
     u32 _initRowsLeft = 0;
+    StallAccount _stall;
 };
 
 } // namespace beethoven

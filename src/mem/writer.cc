@@ -21,7 +21,8 @@ Writer::Writer(Simulator &sim, std::string name,
       _bIn(b_in),
       _cmdQ(sim, params.cmdQueueDepth),
       _dataQ(sim, params.dataQueueDepth),
-      _doneQ(sim, params.doneQueueDepth)
+      _doneQ(sim, params.doneQueueDepth),
+      _stall(sim, Module::name())
 {
     beethoven_assert(params.dataBytes > 0, "writer port width 0");
     beethoven_assert(params.burstBeats >= 1 &&
@@ -44,16 +45,22 @@ Writer::idle() const
 void
 Writer::tick()
 {
+    bool did = false;
     if (!_active)
-        startNextCommand();
-    acceptWords();
-    emitFlits();
-    receiveResponses();
+        did |= startNextCommand();
+    if (acceptWords())
+        did = true;
+    if (emitFlits())
+        did = true;
+    if (receiveResponses())
+        did = true;
     // Deliver the completion token once every burst has been acked.
-    if (_active && _bytesLeft == 0 && _bytesAcked == _cmdLen &&
-        !_open.valid && _doneQ.canPush()) {
+    const bool done_ready = _active && _bytesLeft == 0 &&
+                            _bytesAcked == _cmdLen && !_open.valid;
+    if (done_ready && _doneQ.canPush()) {
         _doneQ.push(StreamDone{_cmdLen});
         _active = false;
+        did = true;
         const Cycle now = sim().cycle();
         _streamCycles->sample(static_cast<double>(now - _streamStart));
         if (TraceSink *ts = sim().trace()) {
@@ -61,13 +68,32 @@ Writer::tick()
                      {{"bytes", _cmdLen}});
         }
     }
+    if (did) {
+        _stall.account(StallClass::Busy);
+        return;
+    }
+    if (!_active) {
+        _stall.account(_cmdQ.occupancy() > 0 ? StallClass::StallUpstream
+                                             : StallClass::StallCmd);
+        return;
+    }
+    if (done_ready || (_open.valid && !_wOut->canPush())) {
+        // Done token or W channel backpressured.
+        _stall.account(StallClass::StallDownstream);
+        return;
+    }
+    if (_stagedTotal < _cmdLen && !_dataQ.canPop()) {
+        _stall.account(StallClass::StallUpstream);
+        return;
+    }
+    _stall.account(StallClass::StallMem);
 }
 
-void
+bool
 Writer::startNextCommand()
 {
     if (!_cmdQ.canPop())
-        return;
+        return false;
     const StreamCommand cmd = _cmdQ.pop();
     if (cmd.lenBytes == 0) {
         // A zero-length stream still completes (with an empty token).
@@ -77,7 +103,7 @@ Writer::startNextCommand()
         _bytesAcked = 0;
         _cmdLen = 0;
         _streamStart = sim().cycle();
-        return;
+        return true;
     }
     if (cmd.addr % _params.dataBytes != 0 ||
         cmd.lenBytes % _params.dataBytes != 0) {
@@ -98,16 +124,17 @@ Writer::startNextCommand()
     beethoven_assert(_stage.empty(),
                      "writer %s: stage residue across commands",
                      name().c_str());
+    return true;
 }
 
-void
+bool
 Writer::acceptWords()
 {
     // Accept only the current command's bytes; anything further on the
     // port belongs to the next command and must wait (otherwise bytes
     // of back-to-back commands would interleave in the stage).
     if (!_active || _stagedTotal >= _cmdLen || !_dataQ.canPop())
-        return;
+        return false;
     // One port word per cycle (the port is dataBytes wide).
     StreamWord w = _dataQ.pop();
     beethoven_assert(w.data.size() == _params.dataBytes,
@@ -115,13 +142,15 @@ Writer::acceptWords()
                      name().c_str(), w.data.size(), _params.dataBytes);
     _stage.insert(_stage.end(), w.data.begin(), w.data.end());
     _stagedTotal += w.data.size();
+    return true;
 }
 
-void
+bool
 Writer::emitFlits()
 {
+    bool did = false;
     if (!_active && !_open.valid)
-        return;
+        return false;
 
     // Open a new burst when the previous one has fully left and the
     // stage holds the burst's bytes (hardware writers gate the AW on
@@ -134,7 +163,7 @@ Writer::emitFlits()
             u64(_params.burstBeats) * _bus.dataBytes - offset;
         const u64 txn_bytes = std::min<u64>(_bytesLeft, max_bytes);
         if (_stage.size() < txn_bytes)
-            return; // keep staging words from the core
+            return false; // keep staging words from the core
         const u32 beats = static_cast<u32>(
             divCeil(offset + txn_bytes, _bus.dataBytes));
 
@@ -171,10 +200,11 @@ Writer::emitFlits()
         _bytesLeft -= txn_bytes;
         ++_txnSeq;
         ++*_statTxns;
+        did = true;
     }
 
     if (!_open.valid || !_wOut->canPush())
-        return;
+        return did;
 
     WriteFlit flit;
     if (!_open.headerSent) {
@@ -190,23 +220,25 @@ Writer::emitFlits()
         _open.valid = false;
         _open.beats.clear();
     }
+    return true;
 }
 
-void
+bool
 Writer::receiveResponses()
 {
     if (!_bIn->canPop())
-        return;
+        return false;
     const WriteResponse resp = _bIn->pop();
     for (auto it = _outstanding.begin(); it != _outstanding.end(); ++it) {
         if (it->first == resp.tag) {
             _bytesAcked += it->second;
             _outstanding.erase(it);
-            return;
+            return true;
         }
     }
     panic("writer %s received B for unknown tag %llu", name().c_str(),
           static_cast<unsigned long long>(resp.tag));
+    return false;
 }
 
 } // namespace beethoven

@@ -20,6 +20,7 @@
 #include "mem/stream_types.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -57,10 +58,11 @@ class Writer : public Module
     void tick() override;
 
   private:
-    void startNextCommand();
-    void acceptWords();
-    void emitFlits();
-    void receiveResponses();
+    // Each sub-step reports whether it did work (for stall accounting).
+    bool startNextCommand();
+    bool acceptWords();
+    bool emitFlits();
+    bool receiveResponses();
 
     WriterParams _params;
     AxiConfig _bus;
@@ -100,6 +102,7 @@ class Writer : public Module
     StatScalar *_statBytesWritten;
     StatScalar *_statTxns;
     StatHistogram *_streamCycles; ///< per-command start -> done token
+    StallAccount _stall;
 };
 
 } // namespace beethoven

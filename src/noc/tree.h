@@ -30,6 +30,7 @@
 #include "base/stats.h"
 #include "sim/module.h"
 #include "sim/queue.h"
+#include "trace/stall.h"
 
 namespace beethoven
 {
@@ -62,7 +63,7 @@ class MuxNode : public Module
     MuxNode(Simulator &sim, std::string name, TimedQueue<F> *out,
             Lock lock = Lock{}, StatScalar *flits = nullptr)
         : Module(sim, std::move(name)), _out(out), _lock(std::move(lock)),
-          _flits(flits)
+          _flits(flits), _stall(sim, Module::name())
     {}
 
     void addInput(TimedQueue<F> *in) { _inputs.push_back(in); }
@@ -72,8 +73,24 @@ class MuxNode : public Module
     void
     tick() override
     {
-        if (!_out->canPush())
+        if (!_out->canPush()) {
+            // Backpressured: the link below us is the bottleneck iff we
+            // actually had a flit to forward.
+            bool pending = false;
+            if (_lockRemaining > 0) {
+                pending = _inputs[_lockedInput]->canPop();
+            } else {
+                for (TimedQueue<F> *in : _inputs) {
+                    if (in->canPop()) {
+                        pending = true;
+                        break;
+                    }
+                }
+            }
+            _stall.account(pending ? StallClass::StallDownstream
+                                   : StallClass::Idle);
             return;
+        }
         if (_lockRemaining > 0) {
             TimedQueue<F> *in = _inputs[_lockedInput];
             if (in->canPop()) {
@@ -81,6 +98,10 @@ class MuxNode : public Module
                 --_lockRemaining;
                 if (_flits != nullptr)
                     ++*_flits;
+                _stall.account(StallClass::Busy);
+            } else {
+                // Mid-burst valid-wait on the locked input.
+                _stall.account(StallClass::StallUpstream);
             }
             return;
         }
@@ -101,8 +122,10 @@ class MuxNode : public Module
             } else {
                 _rr = j + 1;
             }
+            _stall.account(StallClass::Busy);
             return;
         }
+        _stall.account(StallClass::Idle);
     }
 
   private:
@@ -110,6 +133,7 @@ class MuxNode : public Module
     TimedQueue<F> *_out;
     Lock _lock;
     StatScalar *_flits; ///< shared per-tree forwarded-flit counter
+    StallAccount _stall;
     std::size_t _rr = 0;
     unsigned _lockRemaining = 0;
     std::size_t _lockedInput = 0;
@@ -128,7 +152,7 @@ class DemuxNode : public Module
     DemuxNode(Simulator &sim, std::string name, TimedQueue<F> *in,
               KeyFn key, StatScalar *flits = nullptr)
         : Module(sim, std::move(name)), _in(in), _key(std::move(key)),
-          _flits(flits)
+          _flits(flits), _stall(sim, Module::name())
     {}
 
     /** Declare that endpoint @p endpoint is reached through @p out. */
@@ -141,8 +165,10 @@ class DemuxNode : public Module
     void
     tick() override
     {
-        if (!_in->canPop())
+        if (!_in->canPop()) {
+            _stall.account(StallClass::Idle);
             return;
+        }
         const std::size_t key = _key(_in->front());
         auto it = _routes.find(key);
         beethoven_assert(it != _routes.end(),
@@ -152,6 +178,9 @@ class DemuxNode : public Module
             it->second->push(_in->pop());
             if (_flits != nullptr)
                 ++*_flits;
+            _stall.account(StallClass::Busy);
+        } else {
+            _stall.account(StallClass::StallDownstream);
         }
     }
 
@@ -159,6 +188,7 @@ class DemuxNode : public Module
     TimedQueue<F> *_in;
     KeyFn _key;
     StatScalar *_flits; ///< shared per-tree forwarded-flit counter
+    StallAccount _stall;
     std::map<std::size_t, TimedQueue<F> *> _routes;
 };
 
@@ -169,19 +199,27 @@ class QueuePump : public Module
   public:
     QueuePump(Simulator &sim, std::string name, TimedQueue<F> *src,
               TimedQueue<F> *dst)
-        : Module(sim, std::move(name)), _src(src), _dst(dst)
+        : Module(sim, std::move(name)), _src(src), _dst(dst),
+          _stall(sim, Module::name())
     {}
 
     void
     tick() override
     {
-        if (_src->canPop() && _dst->canPush())
+        if (_src->canPop() && _dst->canPush()) {
             _dst->push(_src->pop());
+            _stall.account(StallClass::Busy);
+        } else if (_src->canPop()) {
+            _stall.account(StallClass::StallDownstream);
+        } else {
+            _stall.account(StallClass::Idle);
+        }
     }
 
   private:
     TimedQueue<F> *_src;
     TimedQueue<F> *_dst;
+    StallAccount _stall;
 };
 
 /** Construction summary, used for interconnect resource estimation. */

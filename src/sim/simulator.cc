@@ -1,5 +1,11 @@
 #include "sim/simulator.h"
 
+#include <iostream>
+
+#include "base/log.h"
+#include "trace/stall.h"
+#include "trace/trace.h"
+
 namespace beethoven
 {
 
@@ -17,6 +23,18 @@ Simulator::step()
     for (Committable *c : _commits)
         c->commit();
     ++_cycle;
+    if (_trace != nullptr && !_stallAccounts.empty() &&
+        _cycle % kStallEmitPeriod == 0) {
+        for (StallAccount *a : _stallAccounts)
+            a->emitCounters(*_trace, _cycle);
+    }
+    if (_watchdogLimit != 0 && _cycle - _lastProgress > _watchdogLimit) {
+        dumpHangDiagnostics(std::cerr);
+        fatal("simulation hang: no module made forward progress for "
+              "%llu cycles (at cycle %llu)",
+              static_cast<unsigned long long>(_cycle - _lastProgress),
+              static_cast<unsigned long long>(_cycle));
+    }
 }
 
 void
@@ -35,6 +53,29 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
         step();
     }
     return done();
+}
+
+void
+Simulator::publishStallStats()
+{
+    _stats.scalar("cycles").set(static_cast<double>(_cycle));
+    for (StallAccount *a : _stallAccounts)
+        a->publish(_stats.group(a->name()), _cycle);
+}
+
+void
+Simulator::dumpHangDiagnostics(std::ostream &os) const
+{
+    os << "=== hang diagnostics: cycle "
+       << static_cast<unsigned long long>(_cycle) << ", last progress at "
+       << static_cast<unsigned long long>(_lastProgress) << " ===\n";
+    if (!_stallAccounts.empty())
+        os << "per-module stall state:\n";
+    for (const StallAccount *a : _stallAccounts)
+        a->dumpState(os, _cycle);
+    for (const auto &fn : _hangDumpers)
+        fn(os);
+    os.flush();
 }
 
 } // namespace beethoven

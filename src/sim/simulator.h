@@ -7,6 +7,7 @@
 #define BEETHOVEN_SIM_SIMULATOR_H
 
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "base/stats.h"
@@ -17,6 +18,7 @@ namespace beethoven
 {
 
 class TraceSink;
+class StallAccount;
 
 /**
  * Clocks registered Modules and commits registered Committables.
@@ -38,6 +40,12 @@ class Simulator
     /** Register a queue (or other state) for end-of-cycle commits. */
     void registerCommittable(Committable *c) { _commits.push_back(c); }
 
+    /** Register a stall account (called by StallAccount's constructor). */
+    void registerStallAccount(StallAccount *a)
+    {
+        _stallAccounts.push_back(a);
+    }
+
     /** Advance one cycle: tick all modules, then commit all state. */
     void step();
 
@@ -58,6 +66,50 @@ class Simulator
     const StatGroup &stats() const { return _stats; }
 
     /**
+     * Fold every registered StallAccount into the stats tree (each under
+     * its module's group) and record the elapsed cycle count as the root
+     * "cycles" scalar. Idempotent; call before dumping stats.
+     */
+    void publishStallStats();
+
+    const std::vector<StallAccount *> &stallAccounts() const
+    {
+        return _stallAccounts;
+    }
+
+    /**
+     * Forward-progress notification for the hang watchdog. Called by
+     * StallAccount on Busy classifications; uninstrumented modules that
+     * do real work may also call it directly.
+     */
+    void noteProgress() { _lastProgress = _cycle; }
+
+    /**
+     * Arm the hang watchdog: if no module reports progress for more
+     * than @p limit cycles, step() dumps hang diagnostics to stderr and
+     * raises a ConfigError. 0 (the default) disarms it.
+     */
+    void setWatchdog(Cycle limit)
+    {
+        _watchdogLimit = limit;
+        _lastProgress = _cycle;
+    }
+
+    Cycle watchdogLimit() const { return _watchdogLimit; }
+
+    /**
+     * Add a diagnostics callback invoked by dumpHangDiagnostics (the
+     * SoC registers DRAM in-flight and NoC occupancy dumpers here).
+     */
+    void addHangDumper(std::function<void(std::ostream &)> fn)
+    {
+        _hangDumpers.push_back(std::move(fn));
+    }
+
+    /** Dump every module's stall state plus registered diagnostics. */
+    void dumpHangDiagnostics(std::ostream &os) const;
+
+    /**
      * Attached event sink, or nullptr (the default). Instrumented
      * modules guard every record with this pointer, so simulation
      * without a sink pays only the null check. The sink is not owned
@@ -72,8 +124,16 @@ class Simulator
     Cycle _cycle = 0;
     std::vector<Module *> _modules;
     std::vector<Committable *> _commits;
+    std::vector<StallAccount *> _stallAccounts;
     StatGroup _stats{"soc"};
     TraceSink *_trace = nullptr;
+
+    Cycle _watchdogLimit = 0; ///< 0 = watchdog off
+    Cycle _lastProgress = 0;
+    std::vector<std::function<void(std::ostream &)>> _hangDumpers;
+
+    /** Cycles between stall counter-track emissions while tracing. */
+    static constexpr Cycle kStallEmitPeriod = 1024;
 };
 
 } // namespace beethoven

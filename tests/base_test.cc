@@ -77,6 +77,22 @@ TEST(Stats, HistogramEmptyMinMax)
     EXPECT_DOUBLE_EQ(h.max(), 0.0);
 }
 
+TEST(Stats, HistogramPercentileEmptyReturnsZero)
+{
+    // Regression: percentile() on a histogram with no samples (or one
+    // never configured) must return 0, not divide by zero or index an
+    // empty bucket vector.
+    StatHistogram unconfigured;
+    EXPECT_DOUBLE_EQ(unconfigured.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(unconfigured.percentile(99.0), 0.0);
+
+    StatHistogram empty;
+    empty.configure(8, 4.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
+}
+
 TEST(Stats, HistogramPercentiles)
 {
     StatHistogram h;

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Stall-attribution tests: the conservation invariant (every module's
+ * class counts sum to the elapsed cycle count), command-rate shifts in
+ * attribution, and the bottleneck analyzer's ranking on a saturating
+ * memcpy run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/memcpy_core.h"
+#include "base/json.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+#include "trace/bottleneck.h"
+#include "trace/stall.h"
+
+namespace beethoven
+{
+namespace
+{
+
+struct MemcpyHarness
+{
+    AwsF1Platform platform;
+    AcceleratorSoc soc;
+    RuntimeServer server;
+    fpga_handle_t handle;
+
+    MemcpyHarness()
+        : soc(AcceleratorConfig(
+                  MemcpyCore::systemConfig(1, MemcpyCore::Variant{})),
+              platform),
+          server(soc),
+          handle(server)
+    {}
+
+    void
+    copy(u64 len)
+    {
+        remote_ptr src = handle.malloc(len);
+        remote_ptr dst = handle.malloc(len);
+        for (u64 i = 0; i < len; ++i)
+            src.getHostAddr()[i] = static_cast<u8>(i * 31);
+        handle.copy_to_fpga(src);
+        handle
+            .invoke("MemcpySystem", "do_memcpy", 0,
+                    {src.getFpgaAddr(), dst.getFpgaAddr(), len})
+            .get();
+    }
+};
+
+/** Recursively verify every "stall" group sums to @p cycles. */
+void
+checkConservation(const JsonValue &tree, const std::string &path,
+                  u64 cycles, int &checked)
+{
+    const JsonValue *groups = tree.find("groups");
+    if (groups == nullptr || !groups->isObject())
+        return;
+    for (const auto &[name, child] : groups->object) {
+        if (name == "stall") {
+            const JsonValue *scalars = child.find("scalars");
+            ASSERT_NE(scalars, nullptr) << path;
+            u64 sum = 0;
+            for (std::size_t i = 0; i < kNumStallClasses; ++i) {
+                const JsonValue *v = scalars->find(
+                    stallClassName(static_cast<StallClass>(i)));
+                ASSERT_NE(v, nullptr) << path;
+                sum += static_cast<u64>(v->number);
+            }
+            EXPECT_EQ(sum, cycles) << "conservation violated at " << path;
+            ++checked;
+            continue;
+        }
+        checkConservation(child, path + "." + name, cycles, checked);
+    }
+}
+
+TEST(Stall, ConservationAcrossAllModules)
+{
+    MemcpyHarness h;
+    h.copy(32 * 1024);
+    h.soc.sim().publishStallStats();
+
+    std::ostringstream oss;
+    h.soc.sim().stats().dumpJson(oss);
+    const JsonValue root = parseJson(oss.str());
+
+    const JsonValue *scalars = root.find("scalars");
+    ASSERT_NE(scalars, nullptr);
+    const JsonValue *cycles = scalars->find("cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(static_cast<u64>(cycles->number), h.soc.sim().cycle());
+
+    int checked = 0;
+    checkConservation(root, "", static_cast<u64>(cycles->number),
+                      checked);
+    // Core, reader, writer, DRAM, MMIO, and a forest of NoC nodes.
+    EXPECT_GE(checked, 10) << "expected many instrumented modules";
+}
+
+TEST(Stall, PublishIsIdempotent)
+{
+    MemcpyHarness h;
+    h.copy(4096);
+    h.soc.sim().publishStallStats();
+    std::ostringstream first;
+    h.soc.sim().stats().dumpJson(first);
+    h.soc.sim().publishStallStats();
+    std::ostringstream second;
+    h.soc.sim().stats().dumpJson(second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Stall, CommandStarvationShiftsToStallCmd)
+{
+    // Saturating: back-to-back copies. Trickle: long idle gaps between
+    // the same copies. The core's stall_cmd share must rise sharply
+    // with the gaps.
+    auto cmd_share = [](bool trickle) {
+        MemcpyHarness h;
+        for (int i = 0; i < 3; ++i) {
+            // Large enough that kernel time dominates the MMIO
+            // dispatch overhead in the saturating case.
+            h.copy(256 * 1024);
+            if (trickle)
+                h.soc.sim().run(50000);
+        }
+        const StallAccount *core = nullptr;
+        for (const StallAccount *a : h.soc.sim().stallAccounts()) {
+            if (a->name() == "MemcpySystem.core0")
+                core = a;
+        }
+        EXPECT_NE(core, nullptr);
+        return double(core->count(StallClass::StallCmd)) /
+               double(h.soc.sim().cycle());
+    };
+    const double saturating = cmd_share(false);
+    const double trickle = cmd_share(true);
+    EXPECT_GT(trickle, saturating + 0.3)
+        << "saturating=" << saturating << " trickle=" << trickle;
+}
+
+TEST(Stall, AnalyzerRanksDramAsTopSinkWhenSaturated)
+{
+    MemcpyHarness h;
+    h.copy(256 * 1024);
+    h.soc.sim().publishStallStats();
+
+    std::ostringstream oss;
+    oss << "{\"run\":";
+    h.soc.sim().stats().dumpJson(oss);
+    oss << "}";
+    const std::vector<RunStallReport> runs =
+        analyzeStallStats(parseJson(oss.str()));
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].label, "run");
+    EXPECT_EQ(runs[0].cycles, h.soc.sim().cycle());
+    ASSERT_FALSE(runs[0].modules.empty());
+    EXPECT_EQ(runs[0].modules.front().module, "ddr")
+        << "top sink was " << runs[0].modules.front().module;
+    // Every ranked module obeys conservation too.
+    for (const StallBreakdown &m : runs[0].modules)
+        EXPECT_EQ(m.total(), runs[0].cycles) << m.module;
+}
+
+TEST(Stall, AnalyzerToleratesUninstrumentedStats)
+{
+    const JsonValue root = parseJson(
+        "{\"plain\":{\"scalars\":{\"cycles\":100},"
+        "\"groups\":{\"m\":{\"scalars\":{\"x\":1}}}}}");
+    const std::vector<RunStallReport> runs = analyzeStallStats(root);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].cycles, 100u);
+    EXPECT_TRUE(runs[0].modules.empty());
+}
+
+} // namespace
+} // namespace beethoven

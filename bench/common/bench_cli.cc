@@ -11,6 +11,7 @@
 #include "base/log.h"
 #include "sim/simulator.h"
 #include "trace/bottleneck.h"
+#include "verify/invariants.h"
 
 namespace beethoven
 {
@@ -30,6 +31,10 @@ BenchCli::BenchCli(int &argc, char **argv)
             _watchdog = std::strtoull(arg + 11, nullptr, 10);
         } else if (std::strcmp(arg, "--quick") == 0) {
             _quick = true;
+        } else if (std::strcmp(arg, "--no-invariants") == 0) {
+            _invariants = false;
+        } else if (std::strcmp(arg, "--invariants") == 0) {
+            _invariants = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -63,6 +68,14 @@ BenchCli::armWatchdog(Simulator &sim) const
 {
     if (_watchdog != 0)
         sim.setWatchdog(_watchdog);
+}
+
+std::unique_ptr<SocInvariants>
+BenchCli::armInvariants(AcceleratorSoc &soc) const
+{
+    if (!_invariants)
+        return nullptr;
+    return std::make_unique<SocInvariants>(soc);
 }
 
 void

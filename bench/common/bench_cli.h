@@ -15,6 +15,10 @@
  *                       stats: ranked table on stdout, JSON to FILE
  *   --watchdog=N        arm the simulator hang watchdog (abort after N
  *                       cycles without forward progress; 0 = off)
+ *   --no-invariants     detach the live SocInvariants observers (AXI
+ *                       legality, response accounting, NoC occupancy);
+ *                       they are on by default and abort the bench on
+ *                       the first violation
  *   --quick             benches that honor it shrink their sweep (used
  *                       by the ctest observability fixture)
  *
@@ -41,7 +45,9 @@
 namespace beethoven
 {
 
+class AcceleratorSoc;
 class Simulator;
+class SocInvariants;
 
 class BenchCli
 {
@@ -57,6 +63,16 @@ class BenchCli
 
     /** Arm @p sim's hang watchdog when --watchdog=N was given. */
     void armWatchdog(Simulator &sim) const;
+
+    bool invariantsEnabled() const { return _invariants; }
+
+    /**
+     * Attach the live invariant observers (verify/invariants.h) to
+     * @p soc, unless --no-invariants was given. The returned guard
+     * must not outlive the SoC; destroy (or checkFinal()) it before
+     * tearing the SoC down.
+     */
+    std::unique_ptr<SocInvariants> armInvariants(AcceleratorSoc &soc) const;
 
     /**
      * Snapshot @p stats as JSON under @p label. Serializes immediately
@@ -86,6 +102,7 @@ class BenchCli
     std::string _statsPath;
     std::string _stallReportPath;
     bool _quick = false;
+    bool _invariants = true;
     u64 _watchdog = 0;
     std::unique_ptr<TraceSink> _sink;
     std::vector<std::pair<std::string, std::string>> _statsJson;

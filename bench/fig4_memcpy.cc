@@ -28,6 +28,7 @@
 #include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
+#include "verify/invariants.h"
 
 using namespace beethoven;
 
@@ -42,6 +43,7 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
     AwsF1Platform platform;
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
+    auto invariants = cli.armInvariants(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
     if (TraceSink *sink = cli.sink()) {
@@ -61,6 +63,8 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
         .get();
     auto &core =
         static_cast<MemcpyCore &>(soc.core("MemcpySystem", 0));
+    if (invariants)
+        invariants->checkFinal();
     cli.recordStats(label, soc.sim());
     return core.lastKernelCycles();
 }

@@ -33,6 +33,7 @@
 #include "common/bench_cli.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
+#include "verify/invariants.h"
 
 using namespace beethoven;
 using namespace beethoven::machsuite;
@@ -106,6 +107,7 @@ runKernel(const KernelDriver &driver,
 
     AcceleratorSoc soc(AcceleratorConfig(driver.makeConfig(n_cores)),
                        platform);
+    auto invariants = cli.armInvariants(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
     if (TraceSink *sink = cli.sink()) {
@@ -147,6 +149,8 @@ runKernel(const KernelDriver &driver,
     r.measuredOps = total_ops * clock_hz / double(wall);
     r.coresSimulated = n_cores;
     r.coresFit = fit;
+    if (invariants)
+        invariants->checkFinal();
     cli.recordStats(driver.name, soc.sim());
     return r;
 }

@@ -8,6 +8,7 @@
 #ifndef BEETHOVEN_AXI_TIMELINE_H
 #define BEETHOVEN_AXI_TIMELINE_H
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -44,14 +45,42 @@ struct AxiEvent
 class AxiTimeline
 {
   public:
+    using Observer = std::function<void(const AxiEvent &)>;
+
     void setEnabled(bool enabled) { _enabled = enabled; }
     bool enabled() const { return _enabled; }
 
     void
     record(const AxiEvent &e)
     {
+        // Observers are live even when event storage is off: the always-
+        // on protocol invariant checkers subscribe here without paying
+        // the memory cost of a full recorded timeline.
+        for (const Observer &obs : _observers) {
+            if (obs)
+                obs(e);
+        }
         if (_enabled)
             _events.push_back(e);
+    }
+
+    /**
+     * Subscribe to every recorded event (storage-independent).
+     * @return a token for removeObserver.
+     */
+    std::size_t
+    addObserver(Observer obs)
+    {
+        _observers.push_back(std::move(obs));
+        return _observers.size() - 1;
+    }
+
+    /** Detach the observer registered under @p token. */
+    void
+    removeObserver(std::size_t token)
+    {
+        if (token < _observers.size())
+            _observers[token] = nullptr;
     }
 
     const std::vector<AxiEvent> &events() const { return _events; }
@@ -69,6 +98,7 @@ class AxiTimeline
   private:
     bool _enabled = false;
     std::vector<AxiEvent> _events;
+    std::vector<Observer> _observers;
 };
 
 /**

@@ -31,18 +31,42 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform value in [0, bound) for bound >= 1. */
+    /**
+     * Uniform value in [0, bound); 0 when bound <= 1.
+     *
+     * Uses rejection sampling: a plain `next() % bound` over-weights
+     * the low residues whenever 2^64 is not a multiple of bound. The
+     * rejection region is [0, 2^64 mod bound), so for the small bounds
+     * used in tests a redraw is astronomically rare and the common-case
+     * value matches the historical modulo result.
+     */
     u64
     nextBounded(u64 bound)
     {
-        return bound <= 1 ? 0 : next() % bound;
+        if (bound <= 1)
+            return 0;
+        const u64 reject_below = (0 - bound) % bound; // 2^64 mod bound
+        u64 x = next();
+        while (x < reject_below)
+            x = next();
+        return x % bound;
     }
 
-    /** Uniform value in [lo, hi] inclusive. */
+    /**
+     * Uniform value in [lo, hi] inclusive. A reversed range (lo > hi)
+     * is treated as empty and returns lo; the full 64-bit range
+     * [0, 2^64-1] is supported (the span computation would otherwise
+     * wrap to zero).
+     */
     u64
     nextRange(u64 lo, u64 hi)
     {
-        return lo + nextBounded(hi - lo + 1);
+        if (lo >= hi)
+            return lo;
+        const u64 span = hi - lo + 1;
+        if (span == 0) // hi - lo spans all 2^64 values
+            return next();
+        return lo + nextBounded(span);
     }
 
     /** Uniform double in [0, 1). */

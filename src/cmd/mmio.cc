@@ -103,6 +103,8 @@ MmioCommandSystem::tick()
         beat.rs1 = u64(_stage[1]) | (u64(_stage[2]) << 32);
         beat.rs2 = u64(_stage[3]) | (u64(_stage[4]) << 32);
         _cmdOut.push(beat);
+        if (_cmdObserver)
+            _cmdObserver(beat);
         // First beat of a command opens its latency window; later
         // beats of the same command reuse the recorded cycle.
         _cmdStart.emplace(
@@ -116,6 +118,8 @@ MmioCommandSystem::tick()
         _respReg = _respIn.pop();
         _respHeld = true;
         _respReadIdx = 0;
+        if (_respObserver)
+            _respObserver(_respReg);
         const u64 key =
             routingKey(_respReg.systemId, _respReg.coreId, _respReg.rd);
         auto it = _cmdStart.find(key);

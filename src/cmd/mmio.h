@@ -26,6 +26,7 @@
 #define BEETHOVEN_CMD_MMIO_H
 
 #include <array>
+#include <functional>
 #include <map>
 
 #include "base/stats.h"
@@ -67,6 +68,21 @@ class MmioCommandSystem : public Module
 
     void tick() override;
 
+    /**
+     * Observer hooks for the verification layer: fire when a command
+     * beat enters the fabric / a response beat is drained from it.
+     * Single-subscriber (last setter wins); pass nullptr to detach.
+     */
+    void onCommand(std::function<void(const RoccCommand &)> fn)
+    {
+        _cmdObserver = std::move(fn);
+    }
+
+    void onResponse(std::function<void(const RoccResponse &)> fn)
+    {
+        _respObserver = std::move(fn);
+    }
+
   private:
     TimedQueue<RoccCommand> _cmdOut;
     TimedQueue<RoccResponse> _respIn;
@@ -89,6 +105,9 @@ class MmioCommandSystem : public Module
     std::map<u64, Cycle> _cmdStart;
     StatHistogram *_cmdLatency;
     StallAccount _stall;
+
+    std::function<void(const RoccCommand &)> _cmdObserver;
+    std::function<void(const RoccResponse &)> _respObserver;
 };
 
 } // namespace beethoven

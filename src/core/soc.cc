@@ -167,6 +167,25 @@ AcceleratorSoc::AcceleratorSoc(AcceleratorConfig config,
     checkFit();
 }
 
+std::size_t
+AcceleratorSoc::nocOccupancy() const
+{
+    std::size_t occ = 0;
+    if (_arTree)
+        occ += _arTree->occupancy();
+    if (_rTree)
+        occ += _rTree->occupancy();
+    if (_wTree)
+        occ += _wTree->occupancy();
+    if (_bTree)
+        occ += _bTree->occupancy();
+    if (_cmdTree)
+        occ += _cmdTree->occupancy();
+    if (_respTree)
+        occ += _respTree->occupancy();
+    return occ;
+}
+
 void
 AcceleratorSoc::registerHangDumpers()
 {
@@ -446,6 +465,8 @@ AcceleratorSoc::buildMemoryFabric()
         for (u32 k = 0; k < n; ++k)
             write_id_map->push_back(i);
     }
+    _readIdsInUse = read_cursor;
+    _writeIdsInUse = write_cursor;
     if (read_cursor > _bus.numIds() || write_cursor > _bus.numIds()) {
         fatal("design needs %u read / %u write AXI IDs but the platform "
               "provides %llu; reduce maxInflight or disable TLP on some "

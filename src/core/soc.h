@@ -105,6 +105,17 @@ class AcceleratorSoc
     /** Per-core Beethoven-generated + kernel logic (no memory blocks). */
     ResourceVec coreLogicResources(const std::string &system_name) const;
 
+    /**
+     * AXI ID-space actually allocated to read / write endpoints by
+     * elaboration. The live protocol invariants use these to flag any
+     * bus ID outside the allocated range ("AXI-ID leak").
+     */
+    u32 readIdsInUse() const { return _readIdsInUse; }
+    u32 writeIdsInUse() const { return _writeIdsInUse; }
+
+    /** Total flits currently buffered in all memory-fabric NoC trees. */
+    std::size_t nocOccupancy() const;
+
   private:
     struct SystemInstance;
 
@@ -180,6 +191,10 @@ class AcceleratorSoc
     };
     std::vector<MemEndpointPlan> _readPlans;
     std::vector<MemEndpointPlan> _writePlans;
+
+    // AXI ID-space consumed by the allocation above (for invariants).
+    u32 _readIdsInUse = 0;
+    u32 _writeIdsInUse = 0;
 };
 
 } // namespace beethoven

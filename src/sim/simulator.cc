@@ -28,6 +28,8 @@ Simulator::step()
         for (StallAccount *a : _stallAccounts)
             a->emitCounters(*_trace, _cycle);
     }
+    if (!_invariants.empty() && _cycle % kInvariantPeriod == 0)
+        checkInvariants();
     if (_watchdogLimit != 0 && _cycle - _lastProgress > _watchdogLimit) {
         dumpHangDiagnostics(std::cerr);
         fatal("simulation hang: no module made forward progress for "

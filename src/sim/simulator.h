@@ -21,6 +21,28 @@ class TraceSink;
 class StallAccount;
 
 /**
+ * A live correctness invariant checked while the simulation runs.
+ *
+ * Implementations are event-driven (they subscribe to timelines or
+ * queue hooks themselves); the simulator additionally calls check()
+ * periodically and before final teardown so purely-cumulative
+ * invariants (conservation counts, quiescence) get a chance to fire
+ * with cycle context. Violations should report via fatal() after
+ * dumping diagnostics.
+ */
+class Invariant
+{
+  public:
+    virtual ~Invariant() = default;
+
+    /** Periodic consistency check; @p cycle is the current cycle. */
+    virtual void check(Cycle cycle) = 0;
+
+    /** Short name used in diagnostics. */
+    virtual const char *invariantName() const = 0;
+};
+
+/**
  * Clocks registered Modules and commits registered Committables.
  *
  * The simulator holds non-owning pointers; the elaborated SoC owns all
@@ -110,6 +132,37 @@ class Simulator
     void dumpHangDiagnostics(std::ostream &os) const;
 
     /**
+     * Register a live invariant (non-owning; the caller must
+     * unregister before the invariant is destroyed). check() runs
+     * every kInvariantPeriod cycles inside step().
+     */
+    void registerInvariant(Invariant *inv) { _invariants.push_back(inv); }
+
+    void
+    unregisterInvariant(Invariant *inv)
+    {
+        for (auto it = _invariants.begin(); it != _invariants.end(); ++it) {
+            if (*it == inv) {
+                _invariants.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Run every registered invariant's periodic check now. */
+    void
+    checkInvariants()
+    {
+        for (Invariant *inv : _invariants)
+            inv->check(_cycle);
+    }
+
+    const std::vector<Invariant *> &invariants() const
+    {
+        return _invariants;
+    }
+
+    /**
      * Attached event sink, or nullptr (the default). Instrumented
      * modules guard every record with this pointer, so simulation
      * without a sink pays only the null check. The sink is not owned
@@ -131,9 +184,13 @@ class Simulator
     Cycle _watchdogLimit = 0; ///< 0 = watchdog off
     Cycle _lastProgress = 0;
     std::vector<std::function<void(std::ostream &)>> _hangDumpers;
+    std::vector<Invariant *> _invariants;
 
     /** Cycles between stall counter-track emissions while tracing. */
     static constexpr Cycle kStallEmitPeriod = 1024;
+
+    /** Cycles between periodic invariant checks. */
+    static constexpr Cycle kInvariantPeriod = 256;
 };
 
 } // namespace beethoven

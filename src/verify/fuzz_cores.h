@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fuzz-only accelerator cores.
+ *
+ * The bench kernels (vecadd, memcpy, MachSuite) exercise Readers,
+ * Writers and fixed-shape Scratchpads; SpadLoopbackCore closes the
+ * remaining composition gap by parameterizing the scratchpad itself
+ * (row count, read latency) so the RandomSocBuilder can sweep on-chip
+ * memory shapes. It copies a buffer through the scratchpad's
+ * init-from-memory path and back out through a Writer, so its golden
+ * model is exact: dst == src.
+ */
+
+#ifndef BEETHOVEN_VERIFY_FUZZ_CORES_H
+#define BEETHOVEN_VERIFY_FUZZ_CORES_H
+
+#include "core/accelerator_core.h"
+#include "core/soc.h"
+
+namespace beethoven::verify
+{
+
+class SpadLoopbackCore : public AcceleratorCore
+{
+  public:
+    /** Composition knobs the fuzzer randomizes. */
+    struct Variant
+    {
+        unsigned spadRows = 256;  ///< scratchpad depth (32-bit rows)
+        unsigned spadLatency = 1; ///< scratchpad read latency
+        unsigned burstBeats = 8;
+        unsigned maxInflight = 2;
+        bool useTlp = true;
+    };
+
+    explicit SpadLoopbackCore(const CoreContext &ctx);
+
+    void tick() override;
+
+    enum Arg { argSrc = 0, argDst = 1, argWords = 2 };
+
+    static AcceleratorSystemConfig systemConfig(unsigned n_cores,
+                                                const Variant &variant,
+                                                unsigned addr_bits = 34);
+
+  private:
+    enum class State { Idle, Launch, Init, Drain, WaitWriter, Respond };
+
+    Writer &_writer;
+    Scratchpad &_spad;
+
+    State _state = State::Idle;
+    DecodedCommand _cmd;
+    u32 _words = 0;
+    u32 _reqRow = 0;  ///< next scratchpad row requested
+    u32 _respRow = 0; ///< rows already forwarded to the writer
+};
+
+} // namespace beethoven::verify
+
+#endif // BEETHOVEN_VERIFY_FUZZ_CORES_H

@@ -1,0 +1,28 @@
+#include "verify/golden.h"
+
+#include <sstream>
+
+namespace beethoven::verify
+{
+
+std::string
+GoldenMemory::diff(fpga_handle_t &handle)
+{
+    for (Region &r : _regions) {
+        handle.copy_from_fpga(r.ptr);
+        const u8 *got = r.ptr.getHostAddr();
+        const std::size_t n = r.expectBytes.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (got[i] == r.expectBytes[i])
+                continue;
+            std::ostringstream os;
+            os << r.label << ": byte " << i << " of " << n << " is 0x"
+               << std::hex << unsigned(got[i]) << ", golden model says 0x"
+               << unsigned(r.expectBytes[i]);
+            return os.str();
+        }
+    }
+    return "";
+}
+
+} // namespace beethoven::verify

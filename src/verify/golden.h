@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Golden end-state reference model for the fuzz harness.
+ *
+ * Before traffic is dispatched, the runner computes every buffer's
+ * expected final contents host-side (reusing the src/baselines golden
+ * kernels where one exists — goldenGemm for the GeMM systems) and
+ * registers them here. After the workload quiesces, diff() copies
+ * each region back from device memory and reports the first byte
+ * mismatch with context.
+ */
+
+#ifndef BEETHOVEN_VERIFY_GOLDEN_H
+#define BEETHOVEN_VERIFY_GOLDEN_H
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "runtime/fpga_handle.h"
+#include "runtime/remote_ptr.h"
+
+namespace beethoven::verify
+{
+
+class GoldenMemory
+{
+  public:
+    /** Register the expected end-state bytes of one device region. */
+    void
+    expect(const remote_ptr &ptr, std::vector<u8> bytes,
+           std::string label)
+    {
+        _regions.push_back({ptr, std::move(bytes), std::move(label)});
+    }
+
+    std::size_t regions() const { return _regions.size(); }
+
+    /**
+     * DMA every registered region back and compare byte-for-byte.
+     * @return empty string when all regions match, else a description
+     *         of the first mismatch (label, offset, got/want).
+     */
+    std::string diff(fpga_handle_t &handle);
+
+  private:
+    struct Region
+    {
+        remote_ptr ptr;
+        std::vector<u8> expectBytes;
+        std::string label;
+    };
+    std::vector<Region> _regions;
+};
+
+} // namespace beethoven::verify
+
+#endif // BEETHOVEN_VERIFY_GOLDEN_H

@@ -1,0 +1,210 @@
+#include "verify/random_soc.h"
+
+#include "accel/machsuite/gemm.h"
+#include "accel/memcpy_core.h"
+#include "accel/vecadd.h"
+#include "base/log.h"
+#include "verify/fuzz_cores.h"
+
+namespace beethoven::verify
+{
+
+const char *
+fuzzKindName(FuzzKind k)
+{
+    switch (k) {
+      case FuzzKind::VecAdd:   return "vecadd";
+      case FuzzKind::Memcpy:   return "memcpy";
+      case FuzzKind::SpadLoop: return "spadloop";
+      case FuzzKind::Gemm:     return "gemm";
+    }
+    return "?";
+}
+
+const char *
+fuzzCommandName(FuzzKind k)
+{
+    switch (k) {
+      case FuzzKind::VecAdd:   return "my_accel";
+      case FuzzKind::Memcpy:   return "do_memcpy";
+      case FuzzKind::SpadLoop: return "spad_copy";
+      case FuzzKind::Gemm:     return "gemm";
+    }
+    return "?";
+}
+
+std::string
+fuzzSystemName(unsigned idx)
+{
+    return "fuzz" + std::to_string(idx);
+}
+
+// --- FuzzPlatform -----------------------------------------------------
+
+std::vector<SlrDescriptor>
+FuzzPlatform::slrs() const
+{
+    std::vector<SlrDescriptor> out;
+    for (unsigned i = 0; i < std::max(1u, _knobs.nSlrs); ++i) {
+        SlrDescriptor slr;
+        slr.name = "SLR" + std::to_string(i);
+        slr.capacity = {400000, 3200000, 6400000, 8000, 4000, 0, 0};
+        slr.hasHostInterface = i == 0;
+        slr.hasMemoryInterface = i == 0;
+        out.push_back(slr);
+    }
+    return out;
+}
+
+NocParams
+FuzzPlatform::nocParams() const
+{
+    NocParams p;
+    p.fanout = _knobs.nocFanout;
+    p.slrCrossingLatency = _knobs.nocCrossingLatency;
+    p.queueDepth = _knobs.nocQueueDepth;
+    return p;
+}
+
+DramTiming
+FuzzPlatform::dramTiming() const
+{
+    DramTiming t;
+    t.tRCD = _knobs.tRCD;
+    t.tRP = _knobs.tRP;
+    t.tRAS = _knobs.tRAS;
+    t.tCAS = _knobs.tCAS;
+    t.tSwitch = _knobs.tSwitch;
+    return t;
+}
+
+DramGeometry
+FuzzPlatform::dramGeometry() const
+{
+    DramGeometry g;
+    g.nBankGroups = _knobs.nBankGroups;
+    g.banksPerGroup = _knobs.banksPerGroup;
+    return g;
+}
+
+// --- Config construction ----------------------------------------------
+
+AcceleratorConfig
+buildAcceleratorConfig(const FuzzCase &c)
+{
+    if (c.systems.empty())
+        fatal("fuzz case has no systems");
+    AcceleratorConfig cfg;
+    cfg.name = "FuzzSoc";
+    for (std::size_t i = 0; i < c.systems.size(); ++i) {
+        const FuzzSystem &fs = c.systems[i];
+        AcceleratorSystemConfig sys;
+        switch (fs.kind) {
+          case FuzzKind::VecAdd:
+            sys = VecAddCore::systemConfig(fs.nCores);
+            break;
+          case FuzzKind::Memcpy: {
+            MemcpyCore::Variant v;
+            v.dataBytes = fs.chan.dataBytes;
+            v.burstBeats = fs.chan.burstBeats;
+            v.maxInflight = fs.chan.maxInflight;
+            v.useTlp = fs.chan.useTlp;
+            sys = MemcpyCore::systemConfig(fs.nCores, v);
+            break;
+          }
+          case FuzzKind::SpadLoop: {
+            SpadLoopbackCore::Variant v;
+            v.spadRows = fs.spadRows;
+            v.spadLatency = fs.spadLatency;
+            v.burstBeats = fs.chan.burstBeats;
+            v.maxInflight = fs.chan.maxInflight;
+            v.useTlp = fs.chan.useTlp;
+            sys = SpadLoopbackCore::systemConfig(fs.nCores, v);
+            break;
+          }
+          case FuzzKind::Gemm:
+            sys = machsuite::GemmCore::systemConfig(fs.nCores);
+            break;
+        }
+        // Distinct instance names let one case hold several systems of
+        // the same kind; cores resolve channels within their own
+        // system, so the rename is free.
+        sys.name = fuzzSystemName(static_cast<unsigned>(i));
+        cfg.systems.push_back(std::move(sys));
+    }
+    return cfg;
+}
+
+// --- RandomSocBuilder -------------------------------------------------
+
+FuzzCase
+RandomSocBuilder::sample()
+{
+    FuzzCase c;
+    c.seed = _seed;
+
+    // Platform shape.
+    c.platform.nSlrs = 1 + static_cast<unsigned>(_rng.nextBounded(2));
+    c.platform.nocFanout =
+        2 + static_cast<unsigned>(_rng.nextBounded(3));
+    c.platform.nocCrossingLatency =
+        1 + static_cast<unsigned>(_rng.nextBounded(6));
+    c.platform.nocQueueDepth =
+        1 + static_cast<unsigned>(_rng.nextBounded(4));
+    c.platform.tRCD = 2 + static_cast<unsigned>(_rng.nextBounded(7));
+    c.platform.tRP = 2 + static_cast<unsigned>(_rng.nextBounded(7));
+    c.platform.tRAS = 4 + static_cast<unsigned>(_rng.nextBounded(13));
+    c.platform.tCAS = 2 + static_cast<unsigned>(_rng.nextBounded(7));
+    c.platform.tSwitch = 1 + static_cast<unsigned>(_rng.nextBounded(6));
+    c.platform.nBankGroups = _rng.nextBounded(2) ? 4 : 2;
+    c.platform.banksPerGroup = _rng.nextBounded(2) ? 4 : 2;
+    c.platform.mmioReadCycles =
+        1 + static_cast<unsigned>(_rng.nextBounded(4));
+    c.platform.mmioWriteCycles =
+        1 + static_cast<unsigned>(_rng.nextBounded(3));
+
+    // System list.
+    const unsigned n_systems =
+        1 + static_cast<unsigned>(_rng.nextBounded(3));
+    for (unsigned s = 0; s < n_systems; ++s) {
+        FuzzSystem fs;
+        fs.kind = static_cast<FuzzKind>(_rng.nextBounded(4));
+        switch (fs.kind) {
+          case FuzzKind::VecAdd:
+            fs.nCores = 1 + static_cast<unsigned>(_rng.nextBounded(4));
+            break;
+          case FuzzKind::Memcpy: {
+            fs.nCores = 1 + static_cast<unsigned>(_rng.nextBounded(3));
+            static const unsigned widths[] = {16, 32, 64};
+            static const unsigned bursts[] = {4, 8, 16, 32};
+            static const unsigned inflight[] = {1, 2, 4, 8};
+            fs.chan.dataBytes = widths[_rng.nextBounded(3)];
+            fs.chan.burstBeats = bursts[_rng.nextBounded(4)];
+            fs.chan.maxInflight = inflight[_rng.nextBounded(4)];
+            fs.chan.useTlp = _rng.nextBounded(2) != 0;
+            break;
+          }
+          case FuzzKind::SpadLoop: {
+            fs.nCores = 1 + static_cast<unsigned>(_rng.nextBounded(3));
+            static const unsigned rows[] = {64, 128, 256, 512};
+            static const unsigned bursts[] = {2, 4, 8};
+            static const unsigned inflight[] = {1, 2, 4};
+            fs.spadRows = rows[_rng.nextBounded(4)];
+            fs.spadLatency =
+                1 + static_cast<unsigned>(_rng.nextBounded(3));
+            fs.chan.dataBytes = 4;
+            fs.chan.burstBeats = bursts[_rng.nextBounded(3)];
+            fs.chan.maxInflight = inflight[_rng.nextBounded(3)];
+            fs.chan.useTlp = _rng.nextBounded(2) != 0;
+            break;
+          }
+          case FuzzKind::Gemm:
+            fs.nCores = 1 + static_cast<unsigned>(_rng.nextBounded(2));
+            break;
+        }
+        c.systems.push_back(fs);
+    }
+    return c;
+}
+
+} // namespace beethoven::verify

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Randomized SoC composition for the fuzz harness.
+ *
+ * A FuzzCase is a fully serializable description of one fuzz
+ * iteration: platform shape (SLRs, NoC, DRAM timing/geometry, MMIO
+ * costs), a list of accelerator systems with their composition knobs
+ * (core counts, channel widths/depths, scratchpad shapes), and a
+ * seeded traffic schedule. RandomSocBuilder samples legal cases from
+ * a seeded Rng; buildAcceleratorConfig/FuzzPlatform turn a case back
+ * into an elaborable design, so a case replays bit-identically from
+ * its serialized form.
+ */
+
+#ifndef BEETHOVEN_VERIFY_RANDOM_SOC_H
+#define BEETHOVEN_VERIFY_RANDOM_SOC_H
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/config.h"
+#include "platform/sim_platform.h"
+
+namespace beethoven::verify
+{
+
+/** Which kernel a fuzzed system instantiates. */
+enum class FuzzKind { VecAdd = 0, Memcpy = 1, SpadLoop = 2, Gemm = 3 };
+
+const char *fuzzKindName(FuzzKind k);
+
+/** Reader/writer channel knobs (Memcpy and SpadLoop systems). */
+struct FuzzChannelKnobs
+{
+    unsigned dataBytes = 64;
+    unsigned burstBeats = 16;
+    unsigned maxInflight = 4;
+    bool useTlp = true;
+};
+
+/** One randomized accelerator system. */
+struct FuzzSystem
+{
+    FuzzKind kind = FuzzKind::VecAdd;
+    unsigned nCores = 1;
+    FuzzChannelKnobs chan;     ///< Memcpy / SpadLoop only
+    unsigned spadRows = 256;   ///< SpadLoop only
+    unsigned spadLatency = 1;  ///< SpadLoop only
+};
+
+/** One command in the traffic schedule. */
+struct FuzzOp
+{
+    unsigned system = 0; ///< index into FuzzCase::systems
+    unsigned core = 0;
+    u64 dataSeed = 1;    ///< seeds the operand data
+    /**
+     * Workload size in kind-specific units: VecAdd elements, Memcpy
+     * words of chan.dataBytes, SpadLoop 32-bit words, Gemm multiples
+     * of GemmCore::lanes. Unit-based sizes stay legal under halving,
+     * which keeps the shrinker simple.
+     */
+    unsigned size = 16;
+};
+
+/** Platform-shape knobs the fuzzer sweeps. */
+struct FuzzPlatformKnobs
+{
+    unsigned nSlrs = 1;
+    unsigned nocFanout = 4;
+    unsigned nocCrossingLatency = 4;
+    unsigned nocQueueDepth = 2;
+    unsigned tRCD = 4, tRP = 4, tRAS = 8, tCAS = 4, tSwitch = 3;
+    unsigned nBankGroups = 4, banksPerGroup = 4;
+    unsigned mmioReadCycles = 2, mmioWriteCycles = 1;
+};
+
+/** One self-contained fuzz iteration (serializable, see fuzz.h). */
+struct FuzzCase
+{
+    u64 seed = 0; ///< generation seed (provenance metadata)
+    FuzzPlatformKnobs platform;
+    std::vector<FuzzSystem> systems;
+    std::vector<FuzzOp> ops;
+    /** Test-only: inject a stray AXI beat at run start to prove the
+     *  catch/shrink/replay loop end to end. */
+    bool plantViolation = false;
+};
+
+/** The simulation platform reshaped by a FuzzCase's knobs. */
+class FuzzPlatform : public SimulationPlatform
+{
+  public:
+    explicit FuzzPlatform(const FuzzPlatformKnobs &knobs)
+        : _knobs(knobs)
+    {}
+
+    std::string name() const override { return "Fuzz"; }
+
+    std::vector<SlrDescriptor> slrs() const override;
+    NocParams nocParams() const override;
+    DramTiming dramTiming() const override;
+    DramGeometry dramGeometry() const override;
+    unsigned mmioReadCycles() const override
+    {
+        return _knobs.mmioReadCycles;
+    }
+    unsigned mmioWriteCycles() const override
+    {
+        return _knobs.mmioWriteCycles;
+    }
+
+  private:
+    FuzzPlatformKnobs _knobs;
+};
+
+/** Unique per-case system name ("fuzz0", "fuzz1", ...). */
+std::string fuzzSystemName(unsigned idx);
+
+/** Command name a FuzzKind's system exposes. */
+const char *fuzzCommandName(FuzzKind k);
+
+/** Elaborable config for @p c (throws ConfigError on illegal cases). */
+AcceleratorConfig buildAcceleratorConfig(const FuzzCase &c);
+
+/**
+ * Samples legal SoC compositions. Identical seeds produce identical
+ * cases; traffic is added separately (RandomTrafficGen, traffic.h).
+ */
+class RandomSocBuilder
+{
+  public:
+    explicit RandomSocBuilder(u64 seed) : _seed(seed), _rng(seed) {}
+
+    /** Sample the platform + system structure of one case (no ops). */
+    FuzzCase sample();
+
+  private:
+    u64 _seed;
+    Rng _rng;
+};
+
+} // namespace beethoven::verify
+
+#endif // BEETHOVEN_VERIFY_RANDOM_SOC_H

@@ -1,0 +1,43 @@
+#include "verify/traffic.h"
+
+#include <algorithm>
+
+namespace beethoven::verify
+{
+
+void
+RandomTrafficGen::generate(FuzzCase &c, unsigned max_ops)
+{
+    if (c.systems.empty() || max_ops == 0)
+        return;
+    const unsigned n_ops =
+        1 + static_cast<unsigned>(_rng.nextBounded(max_ops));
+    for (unsigned i = 0; i < n_ops; ++i) {
+        FuzzOp op;
+        op.system =
+            static_cast<unsigned>(_rng.nextBounded(c.systems.size()));
+        const FuzzSystem &sys = c.systems[op.system];
+        op.core = static_cast<unsigned>(_rng.nextBounded(sys.nCores));
+        op.dataSeed = _rng.next() | 1; // never the degenerate 0 seed
+        switch (sys.kind) {
+          case FuzzKind::VecAdd:
+            op.size = 1 + static_cast<unsigned>(_rng.nextBounded(64));
+            break;
+          case FuzzKind::Memcpy:
+            op.size = 1 + static_cast<unsigned>(_rng.nextBounded(32));
+            break;
+          case FuzzKind::SpadLoop:
+            op.size = 1 + static_cast<unsigned>(_rng.nextBounded(
+                              std::min(64u, sys.spadRows)));
+            break;
+          case FuzzKind::Gemm:
+            // Units of GemmCore::lanes: n = 16 or 32 keeps the O(n^3)
+            // kernel inside fuzz-iteration time budgets.
+            op.size = 1 + static_cast<unsigned>(_rng.nextBounded(2));
+            break;
+        }
+        c.ops.push_back(op);
+    }
+}
+
+} // namespace beethoven::verify

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Seeded traffic generation for fuzz cases: fills FuzzCase::ops with
+ * commands targeting the sampled systems. Sizes are drawn in
+ * kind-specific units (see FuzzOp::size) so every sampled op is legal
+ * by construction and stays legal while the shrinker halves it.
+ */
+
+#ifndef BEETHOVEN_VERIFY_TRAFFIC_H
+#define BEETHOVEN_VERIFY_TRAFFIC_H
+
+#include "base/rng.h"
+#include "verify/random_soc.h"
+
+namespace beethoven::verify
+{
+
+class RandomTrafficGen
+{
+  public:
+    explicit RandomTrafficGen(u64 seed) : _rng(seed) {}
+
+    /**
+     * Append between 1 and @p max_ops seeded commands to @p c,
+     * spread across its systems and cores.
+     */
+    void generate(FuzzCase &c, unsigned max_ops = 8);
+
+  private:
+    Rng _rng;
+};
+
+} // namespace beethoven::verify
+
+#endif // BEETHOVEN_VERIFY_TRAFFIC_H

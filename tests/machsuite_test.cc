@@ -17,6 +17,7 @@
 #include "baselines/machsuite_golden.h"
 #include "platform/sim_platform.h"
 #include "runtime/fpga_handle.h"
+#include "soc_check.h"
 
 namespace beethoven
 {
@@ -29,11 +30,13 @@ struct Harness
 {
     SimulationPlatform platform;
     AcceleratorSoc soc;
+    ScopedSocCheck check;
     RuntimeServer server;
     fpga_handle_t handle;
 
     explicit Harness(AcceleratorSystemConfig sys)
         : soc(AcceleratorConfig(std::move(sys)), platform),
+          check(soc),
           server(soc),
           handle(server)
     {}
@@ -69,6 +72,7 @@ TEST(MachSuiteGemm, MatchesGolden)
         const i32 *c = c_mem.as<i32>();
         for (unsigned i = 0; i < n * n; ++i)
             ASSERT_EQ(c[i], golden[i]) << "n=" << n << " idx=" << i;
+        h.check.finish();
     }
 }
 
@@ -103,6 +107,7 @@ TEST(MachSuiteNw, MatchesGolden)
         const i32 *out = out_mem.as<i32>();
         for (unsigned j = 0; j <= n; ++j)
             ASSERT_EQ(out[j], golden[j]) << "n=" << n << " j=" << j;
+        h.check.finish();
     }
 }
 
@@ -131,6 +136,7 @@ TEST(MachSuiteStencil2d, MatchesGolden)
     const i32 *out = out_mem.as<i32>();
     for (unsigned i = 0; i < rows * cols; ++i)
         ASSERT_EQ(out[i], golden[i]) << "idx=" << i;
+    h.check.finish();
 }
 
 TEST(MachSuiteStencil3d, MatchesGolden)
@@ -157,6 +163,7 @@ TEST(MachSuiteStencil3d, MatchesGolden)
     const i32 *out = out_mem.as<i32>();
     for (unsigned i = 0; i < n * n * n; ++i)
         ASSERT_EQ(out[i], golden[i]) << "idx=" << i;
+    h.check.finish();
 }
 
 TEST(MachSuiteMdKnn, MatchesGolden)
@@ -206,6 +213,7 @@ TEST(MachSuiteMdKnn, MatchesGolden)
         ASSERT_EQ(fy, golden[3 * i + 1]) << "atom " << i;
         ASSERT_EQ(fz, golden[3 * i + 2]) << "atom " << i;
     }
+    h.check.finish();
 }
 
 TEST(MachSuiteWorkloads, Table1Registry)

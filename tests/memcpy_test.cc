@@ -11,6 +11,7 @@
 #include "baselines/raw_memcpy.h"
 #include "platform/aws_f1.h"
 #include "runtime/fpga_handle.h"
+#include "soc_check.h"
 
 namespace beethoven
 {
@@ -176,6 +177,7 @@ TEST(BeethovenMemcpy, EndToEnd)
     MemcpyCore::Variant variant;
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
+    ScopedSocCheck check(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
 
@@ -192,6 +194,7 @@ TEST(BeethovenMemcpy, EndToEnd)
     handle.copy_from_fpga(dst);
     for (u64 i = 0; i < len; ++i)
         ASSERT_EQ(dst.getHostAddr()[i], static_cast<u8>(i * 17));
+    check.finish();
 }
 
 TEST(BeethovenMemcpy, NoTlpVariantWorks)
@@ -202,6 +205,7 @@ TEST(BeethovenMemcpy, NoTlpVariantWorks)
     variant.burstBeats = 64;
     AcceleratorConfig cfg(MemcpyCore::systemConfig(1, variant));
     AcceleratorSoc soc(std::move(cfg), platform);
+    ScopedSocCheck check(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
 
@@ -218,6 +222,7 @@ TEST(BeethovenMemcpy, NoTlpVariantWorks)
     handle.copy_from_fpga(dst);
     for (u64 i = 0; i < len; ++i)
         ASSERT_EQ(dst.getHostAddr()[i], static_cast<u8>(255 - (i & 0xFF)));
+    check.finish();
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include "platform/kria.h"
 #include "platform/sim_platform.h"
 #include "runtime/fpga_handle.h"
+#include "soc_check.h"
 
 namespace beethoven
 {
@@ -23,6 +24,7 @@ runVecAdd(const Platform &platform, unsigned n_cores, unsigned n_eles)
 {
     AcceleratorConfig cfg(VecAddCore::systemConfig(n_cores));
     AcceleratorSoc soc(std::move(cfg), platform);
+    ScopedSocCheck check(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
 
@@ -53,6 +55,7 @@ runVecAdd(const Platform &platform, unsigned n_cores, unsigned n_eles)
                 << "core " << c << " element " << i;
         }
     }
+    check.finish();
 }
 
 TEST(VecAddE2E, SingleCoreSimulationPlatform)
@@ -86,6 +89,7 @@ TEST(VecAddE2E, MultipleSequentialCommands)
     SimulationPlatform platform;
     AcceleratorConfig cfg(VecAddCore::systemConfig(1));
     AcceleratorSoc soc(std::move(cfg), platform);
+    ScopedSocCheck check(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
 
@@ -105,6 +109,7 @@ TEST(VecAddE2E, MultipleSequentialCommands)
     handle.copy_from_fpga(mem);
     for (unsigned i = 0; i < 64; ++i)
         EXPECT_EQ(mem.as<u32>()[i], i + 300);
+    check.finish();
 }
 
 TEST(VecAddE2E, TryGetEventuallySucceeds)
@@ -112,6 +117,7 @@ TEST(VecAddE2E, TryGetEventuallySucceeds)
     SimulationPlatform platform;
     AcceleratorConfig cfg(VecAddCore::systemConfig(1));
     AcceleratorSoc soc(std::move(cfg), platform);
+    ScopedSocCheck check(soc);
     RuntimeServer server(soc);
     fpga_handle_t handle(server);
 
@@ -127,6 +133,7 @@ TEST(VecAddE2E, TryGetEventuallySucceeds)
         ASSERT_LT(polls, 100000u) << "response never arrived";
         soc.sim().run(100);
     }
+    check.finish();
 }
 
 } // namespace

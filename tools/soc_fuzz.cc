@@ -1,0 +1,192 @@
+/**
+ * @file
+ * soc_fuzz — randomized SoC composition fuzzer (see DESIGN.md §5).
+ *
+ * Samples random-but-legal accelerator compositions, drives seeded
+ * traffic against them with live invariants armed, and differential-
+ * checks the results against the golden model. On failure it shrinks
+ * the case to a minimal reproduction and writes a self-contained JSON
+ * repro file.
+ *
+ * Usage:
+ *   soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]
+ *            [--max-ops=N] [--repro-out=PATH] [--no-shrink]
+ *            [--plant-violation] [--replay=PATH] [--verbose]
+ *
+ * Exit codes: 0 all iterations clean, 3 a failure was found (repro
+ * written if --repro-out), 2 usage or IO error.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "base/log.h"
+#include "verify/fuzz.h"
+#include "verify/traffic.h"
+
+using namespace beethoven;
+using namespace beethoven::verify;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]\n"
+          "                [--max-ops=N] [--repro-out=PATH] [--no-shrink]\n"
+          "                [--plant-violation] [--replay=PATH] "
+          "[--verbose]\n"
+          "\n"
+          "  --seed=N            base RNG seed (default 1)\n"
+          "  --iterations=N      cases to run (default 25)\n"
+          "  --max-cycles=N      per-case simulated-cycle budget\n"
+          "                      (default 2000000)\n"
+          "  --max-ops=N         max commands per case (default 8)\n"
+          "  --repro-out=PATH    write the shrunk failing case here\n"
+          "  --no-shrink         report the raw failing case unshrunk\n"
+          "  --plant-violation   inject a bogus AXI beat into every\n"
+          "                      case (self-test of the catch path)\n"
+          "  --replay=PATH       run one case from a repro file instead\n"
+          "                      of sampling\n"
+          "  --verbose           per-iteration progress lines\n";
+}
+
+bool
+parseU64Flag(const std::string &arg, const std::string &name, u64 &out)
+{
+    const std::string prefix = "--" + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    return true;
+}
+
+bool
+parseStringFlag(const std::string &arg, const std::string &name,
+                std::string &out)
+{
+    const std::string prefix = "--" + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    u64 seed = 1;
+    u64 iterations = 25;
+    u64 max_ops = 8;
+    FuzzOptions opt;
+    std::string repro_out;
+    std::string replay_path;
+    bool do_shrink = true;
+    bool plant = false;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        u64 v = 0;
+        if (parseU64Flag(arg, "seed", seed) ||
+            parseU64Flag(arg, "iterations", iterations) ||
+            parseU64Flag(arg, "max-ops", max_ops) ||
+            parseStringFlag(arg, "repro-out", repro_out) ||
+            parseStringFlag(arg, "replay", replay_path)) {
+            continue;
+        } else if (parseU64Flag(arg, "max-cycles", v)) {
+            opt.maxCycles = v;
+        } else if (arg == "--no-shrink") {
+            do_shrink = false;
+        } else if (arg == "--plant-violation") {
+            plant = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "soc_fuzz: unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    // Replay mode: one case from disk, no sampling, no shrinking.
+    if (!replay_path.empty()) {
+        FuzzCase c;
+        try {
+            c = loadReproFile(replay_path);
+        } catch (const ConfigError &e) {
+            std::cerr << "soc_fuzz: " << e.what() << "\n";
+            return 2;
+        }
+        const FuzzResult r = runFuzzCase(c, opt);
+        std::cout << "replay " << replay_path << ": "
+                  << failKindName(r.kind);
+        if (!r.message.empty())
+            std::cout << " (" << r.message << ")";
+        std::cout << " after " << r.cycles << " cycles, " << r.axiEvents
+                  << " AXI events checked\n";
+        return r.kind == FailKind::None ? 0 : 3;
+    }
+
+    u64 total_cycles = 0, total_axi = 0, total_resps = 0;
+    for (u64 it = 0; it < iterations; ++it) {
+        const u64 case_seed = seed + it;
+        RandomSocBuilder builder(case_seed);
+        FuzzCase c = builder.sample();
+        RandomTrafficGen traffic(case_seed ^ 0x74726166666963ULL);
+        traffic.generate(c, static_cast<unsigned>(max_ops));
+        c.plantViolation = plant;
+
+        const FuzzResult r = runFuzzCase(c, opt);
+        total_cycles += r.cycles;
+        total_axi += r.axiEvents;
+        total_resps += r.responses;
+        if (verbose) {
+            std::cout << "iter " << it << " seed " << case_seed << ": "
+                      << c.systems.size() << " systems, "
+                      << c.ops.size() << " ops -> "
+                      << failKindName(r.kind) << " in " << r.cycles
+                      << " cycles\n";
+        }
+        if (r.kind == FailKind::None)
+            continue;
+
+        std::cerr << "soc_fuzz: seed " << case_seed << " failed ("
+                  << failKindName(r.kind) << "): " << r.message << "\n";
+        FuzzCase minimal = c;
+        if (do_shrink) {
+            unsigned attempts = 0;
+            minimal = shrink(c, opt, r.kind, /*max_attempts=*/200,
+                             &attempts);
+            std::cerr << "soc_fuzz: shrunk to " << minimal.systems.size()
+                      << " systems / " << minimal.ops.size()
+                      << " ops in " << attempts << " replays\n";
+        }
+        if (!repro_out.empty()) {
+            try {
+                writeReproFile(minimal, repro_out);
+                std::cerr << "soc_fuzz: repro written to " << repro_out
+                          << "\n";
+            } catch (const ConfigError &e) {
+                std::cerr << "soc_fuzz: " << e.what() << "\n";
+                return 2;
+            }
+        } else {
+            std::cerr << fuzzCaseToJson(minimal);
+        }
+        return 3;
+    }
+
+    std::cout << "soc_fuzz: " << iterations << " iterations clean ("
+              << total_cycles << " cycles, " << total_axi
+              << " AXI events checked, " << total_resps
+              << " responses)\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+#include "core/elab_params.h"
+
+#include <algorithm>
+
+#include "mem/resource_model.h"
+
+namespace beethoven
+{
+
+ReaderParams
+resolveReaderParams(const ReadChannelConfig &cfg,
+                    const Platform &platform)
+{
+    ReaderParams p;
+    p.dataBytes = cfg.dataBytes;
+    p.burstBeats =
+        cfg.burstBeats ? cfg.burstBeats : platform.defaultBurstBeats();
+    p.maxInflight =
+        cfg.maxInflight ? cfg.maxInflight : platform.defaultMaxInflight();
+    p.useTlp = cfg.useTlp;
+    return p;
+}
+
+WriterParams
+resolveWriterParams(const WriteChannelConfig &cfg,
+                    const Platform &platform)
+{
+    WriterParams p;
+    p.dataBytes = cfg.dataBytes;
+    p.burstBeats =
+        cfg.burstBeats ? cfg.burstBeats : platform.defaultBurstBeats();
+    p.maxInflight =
+        cfg.maxInflight ? cfg.maxInflight : platform.defaultMaxInflight();
+    p.useTlp = cfg.useTlp;
+    return p;
+}
+
+ReaderParams
+spadInitReaderParams(const ScratchpadConfig &cfg,
+                     const Platform &platform)
+{
+    ReaderParams p;
+    p.dataBytes = (cfg.dataWidthBits + 7) / 8;
+    p.burstBeats = platform.defaultBurstBeats();
+    p.maxInflight = platform.defaultMaxInflight();
+    p.useTlp = true;
+    return p;
+}
+
+ResourceVec
+estimateCoreLogic(const AcceleratorSystemConfig &sys,
+                  const Platform &platform, const AxiConfig &bus)
+{
+    ResourceVec est = sys.kernelResources;
+    if (platform.isAsic()) {
+        // On ASIC targets the kernel's FPGA block-RAM estimates map to
+        // compiled SRAM macros instead.
+        est.sramMacros += est.bram + est.uram;
+        est.bram = 0;
+        est.uram = 0;
+    }
+    for (const auto &r : sys.readChannels) {
+        est += readerLogicResources(resolveReaderParams(r, platform),
+                                    bus) *
+               static_cast<double>(r.nChannels);
+    }
+    for (const auto &w : sys.writeChannels) {
+        est += writerLogicResources(resolveWriterParams(w, platform),
+                                    bus) *
+               static_cast<double>(w.nChannels);
+    }
+    for (const auto &sp : sys.scratchpads) {
+        ScratchpadParams p;
+        p.dataWidthBits = sp.dataWidthBits;
+        p.nDatas = sp.nDatas;
+        p.nPorts = sp.nPorts;
+        p.latency = sp.latency;
+        p.supportsInit = sp.supportsInit;
+        est += scratchpadControlResources(p);
+        if (sp.supportsInit) {
+            est += readerLogicResources(
+                spadInitReaderParams(sp, platform), bus);
+        }
+    }
+    for (const auto &pin : sys.intraMemoryIns) {
+        ScratchpadParams p;
+        p.dataWidthBits = pin.dataWidthBits;
+        p.nDatas = pin.nDatas;
+        p.nPorts = std::max(1u, pin.nChannels);
+        p.supportsInit = false;
+        est += scratchpadControlResources(p);
+    }
+    return est;
+}
+
+} // namespace beethoven

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared config -> elaboration parameter resolution.
+ *
+ * Channel configs leave zero-valued knobs to "platform default"
+ * (Section II-B); both real elaboration (core/soc.cc) and the static
+ * composition linter (lint/lint.h) must resolve them identically or
+ * the linter would reason about a different design than the one that
+ * gets built. These helpers are that single source of truth.
+ */
+
+#ifndef BEETHOVEN_CORE_ELAB_PARAMS_H
+#define BEETHOVEN_CORE_ELAB_PARAMS_H
+
+#include "core/config.h"
+#include "platform/platform.h"
+
+namespace beethoven
+{
+
+/** Resolve a ReadChannelConfig's knobs against platform defaults. */
+ReaderParams resolveReaderParams(const ReadChannelConfig &cfg,
+                                 const Platform &platform);
+
+/** Resolve a WriteChannelConfig's knobs against platform defaults. */
+WriterParams resolveWriterParams(const WriteChannelConfig &cfg,
+                                 const Platform &platform);
+
+/** Parameters of the hidden init Reader behind a scratchpad. */
+ReaderParams spadInitReaderParams(const ScratchpadConfig &cfg,
+                                  const Platform &platform);
+
+/**
+ * Per-core Beethoven-generated + kernel logic estimate for one system
+ * (no memory blocks — those are compiled exactly by the memory
+ * compiler during floorplanning).
+ */
+ResourceVec estimateCoreLogic(const AcceleratorSystemConfig &sys,
+                              const Platform &platform,
+                              const AxiConfig &bus);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_CORE_ELAB_PARAMS_H

@@ -1,9 +1,10 @@
 #include "core/soc.h"
 
 #include <algorithm>
-#include <set>
 
 #include "base/log.h"
+#include "core/elab_params.h"
+#include "lint/lint.h"
 #include "mem/resource_model.h"
 #include "trace/trace.h"
 
@@ -30,44 +31,6 @@ hookTree(TraceProbe &probe, const std::string &track, Tree &tree)
                            static_cast<double>(occ));
             });
     });
-}
-
-ReaderParams
-toReaderParams(const ReadChannelConfig &cfg, const Platform &platform)
-{
-    ReaderParams p;
-    p.dataBytes = cfg.dataBytes;
-    p.burstBeats =
-        cfg.burstBeats ? cfg.burstBeats : platform.defaultBurstBeats();
-    p.maxInflight =
-        cfg.maxInflight ? cfg.maxInflight : platform.defaultMaxInflight();
-    p.useTlp = cfg.useTlp;
-    return p;
-}
-
-WriterParams
-toWriterParams(const WriteChannelConfig &cfg, const Platform &platform)
-{
-    WriterParams p;
-    p.dataBytes = cfg.dataBytes;
-    p.burstBeats =
-        cfg.burstBeats ? cfg.burstBeats : platform.defaultBurstBeats();
-    p.maxInflight =
-        cfg.maxInflight ? cfg.maxInflight : platform.defaultMaxInflight();
-    p.useTlp = cfg.useTlp;
-    return p;
-}
-
-ReaderParams
-spadInitReaderParams(const ScratchpadConfig &cfg,
-                     const Platform &platform)
-{
-    ReaderParams p;
-    p.dataBytes = (cfg.dataWidthBits + 7) / 8;
-    p.burstBeats = platform.defaultBurstBeats();
-    p.maxInflight = platform.defaultMaxInflight();
-    p.useTlp = true;
-    return p;
 }
 
 /**
@@ -245,88 +208,16 @@ AcceleratorSoc::~AcceleratorSoc() = default;
 void
 AcceleratorSoc::validate()
 {
-    if (_config.systems.empty())
-        fatal("accelerator config declares no systems");
-    if (_config.systems.size() > RoccCommand::maxSystems)
-        fatal("%zu systems exceed the %u-system RoCC routing space",
-              _config.systems.size(), RoccCommand::maxSystems);
-    std::set<std::string> sys_names;
-    for (const auto &sys : _config.systems) {
-        if (sys.name.empty())
-            fatal("system with empty name");
-        if (!sys_names.insert(sys.name).second)
-            fatal("duplicate system name '%s'", sys.name.c_str());
-        if (sys.nCores == 0)
-            fatal("system %s declares zero cores", sys.name.c_str());
-        if (sys.nCores > RoccCommand::maxCores)
-            fatal("system %s: %u cores exceed the %u-core RoCC routing "
-                  "space",
-                  sys.name.c_str(), sys.nCores, RoccCommand::maxCores);
-        if (!sys.moduleConstructor)
-            fatal("system %s has no module constructor",
-                  sys.name.c_str());
-        if (sys.commands.size() > RoccCommand::maxCommands)
-            fatal("system %s: %zu commands exceed the %u-command space",
-                  sys.name.c_str(), sys.commands.size(),
-                  RoccCommand::maxCommands);
-
-        std::set<std::string> ch;
-        for (const auto &r : sys.readChannels) {
-            if (r.nChannels == 0)
-                fatal("read channel %s with zero channels",
-                      r.name.c_str());
-            if (!ch.insert("r:" + r.name).second)
-                fatal("duplicate read channel '%s' in system %s",
-                      r.name.c_str(), sys.name.c_str());
-        }
-        for (const auto &w : sys.writeChannels) {
-            if (w.nChannels == 0)
-                fatal("write channel %s with zero channels",
-                      w.name.c_str());
-            if (!ch.insert("w:" + w.name).second)
-                fatal("duplicate write channel '%s' in system %s",
-                      w.name.c_str(), sys.name.c_str());
-        }
-        std::set<std::string> mems;
-        for (const auto &sp : sys.scratchpads) {
-            if (!mems.insert(sp.name).second)
-                fatal("duplicate scratchpad '%s' in system %s",
-                      sp.name.c_str(), sys.name.c_str());
-        }
-        for (const auto &pin : sys.intraMemoryIns) {
-            if (!mems.insert(pin.name).second)
-                fatal("intra-core memory '%s' collides with a "
-                      "scratchpad in system %s",
-                      pin.name.c_str(), sys.name.c_str());
-        }
-    }
-    // Cross-system references.
-    for (const auto &sys : _config.systems) {
-        for (const auto &pout : sys.intraMemoryOuts) {
-            const auto *target = [&]() -> const AcceleratorSystemConfig * {
-                for (const auto &t : _config.systems) {
-                    if (t.name == pout.toSystem)
-                        return &t;
-                }
-                return nullptr;
-            }();
-            if (target == nullptr)
-                fatal("system %s: intra-core out '%s' targets unknown "
-                      "system '%s'",
-                      sys.name.c_str(), pout.name.c_str(),
-                      pout.toSystem.c_str());
-            const bool found = std::any_of(
-                target->intraMemoryIns.begin(),
-                target->intraMemoryIns.end(),
-                [&](const auto &pin) {
-                    return pin.name == pout.toMemoryPort;
-                });
-            if (!found)
-                fatal("system %s: intra-core out '%s' targets missing "
-                      "port '%s' in system %s",
-                      sys.name.c_str(), pout.name.c_str(),
-                      pout.toMemoryPort.c_str(), pout.toSystem.c_str());
-        }
+    // Run the composition linter over the unbuilt config so that an
+    // invalid composition reports *every* violation in one failure
+    // instead of first-error-wins. Warnings alone never block a
+    // build; surface them with tools/soc_lint.
+    const lint::DiagnosticReport report =
+        lint::lintComposition(_config, _platform);
+    if (report.hasErrors()) {
+        fatal("invalid composition: %zu error(s), %zu warning(s)\n%s",
+              report.errorCount(), report.warningCount(),
+              report.format().c_str());
     }
 }
 
@@ -334,44 +225,7 @@ ResourceVec
 AcceleratorSoc::estimateCoreLogic(const AcceleratorSystemConfig &sys,
                                   const AxiConfig &bus) const
 {
-    ResourceVec est = sys.kernelResources;
-    if (_platform.isAsic()) {
-        // On ASIC targets the kernel's FPGA block-RAM estimates map to
-        // compiled SRAM macros instead.
-        est.sramMacros += est.bram + est.uram;
-        est.bram = 0;
-        est.uram = 0;
-    }
-    for (const auto &r : sys.readChannels) {
-        est += readerLogicResources(toReaderParams(r, _platform), bus) *
-               static_cast<double>(r.nChannels);
-    }
-    for (const auto &w : sys.writeChannels) {
-        est += writerLogicResources(toWriterParams(w, _platform), bus) *
-               static_cast<double>(w.nChannels);
-    }
-    for (const auto &sp : sys.scratchpads) {
-        ScratchpadParams p;
-        p.dataWidthBits = sp.dataWidthBits;
-        p.nDatas = sp.nDatas;
-        p.nPorts = sp.nPorts;
-        p.latency = sp.latency;
-        p.supportsInit = sp.supportsInit;
-        est += scratchpadControlResources(p);
-        if (sp.supportsInit) {
-            est += readerLogicResources(
-                spadInitReaderParams(sp, _platform), bus);
-        }
-    }
-    for (const auto &pin : sys.intraMemoryIns) {
-        ScratchpadParams p;
-        p.dataWidthBits = pin.dataWidthBits;
-        p.nDatas = pin.nDatas;
-        p.nPorts = std::max(1u, pin.nChannels);
-        p.supportsInit = false;
-        est += scratchpadControlResources(p);
-    }
-    return est;
+    return beethoven::estimateCoreLogic(sys, _platform, bus);
 }
 
 void
@@ -408,7 +262,7 @@ AcceleratorSoc::buildMemoryFabric()
                     plan.channel = rc.name;
                     plan.channelIdx = k;
                     plan.slr = slr;
-                    plan.readerParams = toReaderParams(rc, _platform);
+                    plan.readerParams = resolveReaderParams(rc, _platform);
                     _readPlans.push_back(plan);
                 }
             }
@@ -433,7 +287,7 @@ AcceleratorSoc::buildMemoryFabric()
                     plan.channel = wc.name;
                     plan.channelIdx = k;
                     plan.slr = slr;
-                    plan.writerParams = toWriterParams(wc, _platform);
+                    plan.writerParams = resolveWriterParams(wc, _platform);
                     _writePlans.push_back(plan);
                 }
             }

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Config-layer lint rules (BTH001-BTH012): structural defects of the
+ * AcceleratorConfig itself — naming, routing-space limits, channel and
+ * memory declarations, intra-core port wiring, and collisions that
+ * would break the generated C++ bindings (src/bindgen).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "cmd/rocc.h"
+#include "lint/lint.h"
+
+namespace beethoven::lint
+{
+
+namespace
+{
+
+void
+ruleSystemList(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    if (systems.empty()) {
+        rep.add("BTH001", "systems",
+                "accelerator config declares no systems")
+            .fixit = "add at least one AcceleratorSystemConfig";
+        return;
+    }
+    if (systems.size() > RoccCommand::maxSystems) {
+        rep.add("BTH005", "systems",
+                std::to_string(systems.size()) +
+                    " systems exceed the " +
+                    std::to_string(RoccCommand::maxSystems) +
+                    "-system RoCC routing space")
+            .note = "the RoCC instruction word carries a 4-bit system "
+                    "ID";
+    }
+    std::set<std::string> seen;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto &sys = systems[s];
+        if (sys.name.empty())
+            rep.add("BTH002", systemPath(m, s),
+                    "system with an empty name");
+        else if (!seen.insert(sys.name).second)
+            rep.add("BTH003", systemPath(m, s),
+                    "duplicate system name '" + sys.name + "'")
+                .fixit = "rename one of the systems";
+    }
+}
+
+void
+rulePerSystemShape(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto &sys = systems[s];
+        const std::string path = systemPath(m, s);
+        if (sys.nCores == 0)
+            rep.add("BTH004", path, "system declares zero cores");
+        if (sys.nCores > RoccCommand::maxCores) {
+            rep.add("BTH005", path,
+                    std::to_string(sys.nCores) +
+                        " cores exceed the " +
+                        std::to_string(RoccCommand::maxCores) +
+                        "-core RoCC routing space");
+        }
+        if (sys.commands.size() > RoccCommand::maxCommands) {
+            rep.add("BTH005", path,
+                    std::to_string(sys.commands.size()) +
+                        " commands exceed the " +
+                        std::to_string(RoccCommand::maxCommands) +
+                        "-command space");
+        }
+        if (!sys.moduleConstructor)
+            rep.add("BTH006", path, "system has no module constructor");
+    }
+}
+
+void
+ruleChannelDeclarations(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto &sys = systems[s];
+        const std::string path = systemPath(m, s);
+        std::set<std::string> ch;
+        for (const auto &r : sys.readChannels) {
+            if (r.nChannels == 0)
+                rep.add("BTH007", path + "." + r.name,
+                        "read channel '" + r.name +
+                            "' declares zero channels");
+            if (!ch.insert("r:" + r.name).second)
+                rep.add("BTH008", path + "." + r.name,
+                        "duplicate read channel '" + r.name + "'");
+        }
+        for (const auto &w : sys.writeChannels) {
+            if (w.nChannels == 0)
+                rep.add("BTH007", path + "." + w.name,
+                        "write channel '" + w.name +
+                            "' declares zero channels");
+            if (!ch.insert("w:" + w.name).second)
+                rep.add("BTH008", path + "." + w.name,
+                        "duplicate write channel '" + w.name + "'");
+        }
+        std::set<std::string> mems;
+        for (const auto &sp : sys.scratchpads) {
+            if (!mems.insert(sp.name).second)
+                rep.add("BTH009", path + "." + sp.name,
+                        "duplicate scratchpad '" + sp.name + "'");
+        }
+        for (const auto &pin : sys.intraMemoryIns) {
+            if (!mems.insert(pin.name).second)
+                rep.add("BTH009", path + "." + pin.name,
+                        "intra-core memory '" + pin.name +
+                            "' collides with another on-chip memory");
+        }
+    }
+}
+
+void
+ruleIntraCoreWiring(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto &sys = systems[s];
+        for (const auto &pout : sys.intraMemoryOuts) {
+            const std::string path =
+                systemPath(m, s) + "." + pout.name;
+            const auto *target =
+                [&]() -> const AcceleratorSystemConfig * {
+                for (const auto &t : systems) {
+                    if (t.name == pout.toSystem)
+                        return &t;
+                }
+                return nullptr;
+            }();
+            if (target == nullptr) {
+                rep.add("BTH010", path,
+                        "intra-core out '" + pout.name +
+                            "' targets unknown system '" +
+                            pout.toSystem + "'");
+                continue;
+            }
+            const auto pin_it = std::find_if(
+                target->intraMemoryIns.begin(),
+                target->intraMemoryIns.end(), [&](const auto &pin) {
+                    return pin.name == pout.toMemoryPort;
+                });
+            if (pin_it == target->intraMemoryIns.end()) {
+                rep.add("BTH010", path,
+                        "intra-core out '" + pout.name +
+                            "' targets missing port '" +
+                            pout.toMemoryPort + "' in system " +
+                            pout.toSystem);
+                continue;
+            }
+            if (pin_it->commDeg == CommunicationDegree::PointToPoint &&
+                sys.nCores != target->nCores) {
+                rep.add("BTH011", path,
+                        "point-to-point port: source has " +
+                            std::to_string(sys.nCores) +
+                            " cores but target " + pout.toSystem +
+                            " has " + std::to_string(target->nCores))
+                    .fixit = "match the core counts or declare the "
+                             "port Broadcast";
+            }
+        }
+    }
+}
+
+bool
+isValidIdentifier(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(name[0])) &&
+        name[0] != '_')
+        return false;
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    // Keywords that would break the generated function/argument
+    // declarations (a pragmatic subset; bindgen emits C++17).
+    static const std::set<std::string> keywords = {
+        "auto",   "bool",   "break",    "case",   "char",  "class",
+        "const",  "delete", "do",       "double", "else",  "enum",
+        "false",  "float",  "for",      "if",     "int",   "long",
+        "new",    "public", "return",   "short",  "signed","sizeof",
+        "static", "struct", "switch",   "this",   "true",  "typedef",
+        "union",  "unsigned", "using",  "void",   "while",
+    };
+    return keywords.find(name) == keywords.end();
+}
+
+void
+ruleBindgenCollisions(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto &sys = systems[s];
+        const std::string path = systemPath(m, s);
+        std::set<std::string> cmd_names;
+        for (const auto &cmd : sys.commands) {
+            if (!isValidIdentifier(cmd.name())) {
+                rep.add("BTH012", path + "." + cmd.name(),
+                        "command name '" + cmd.name() +
+                            "' is not a valid C++ identifier")
+                    .note = "bindgen emits one function per command "
+                            "(Fig. 3b); this name cannot compile";
+                continue;
+            }
+            if (!cmd_names.insert(cmd.name()).second) {
+                rep.add("BTH012", path + "." + cmd.name(),
+                        "duplicate command name '" + cmd.name() +
+                            "' collides in the generated bindings");
+            }
+            std::set<std::string> fields;
+            for (const auto &f : cmd.fields()) {
+                if (!isValidIdentifier(f.name) ||
+                    !fields.insert(f.name).second) {
+                    rep.add("BTH012",
+                            path + "." + cmd.name() + "." + f.name,
+                            "command field '" + f.name +
+                                "' is a duplicate or invalid "
+                                "argument name");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<LintRuleEntry> &
+configLintRules()
+{
+    static const std::vector<LintRuleEntry> rules = {
+        {"system-list", "config", ruleSystemList},
+        {"per-system-shape", "config", rulePerSystemShape},
+        {"channel-declarations", "config", ruleChannelDeclarations},
+        {"intra-core-wiring", "config", ruleIntraCoreWiring},
+        {"bindgen-collisions", "config", ruleBindgenCollisions},
+    };
+    return rules;
+}
+
+} // namespace beethoven::lint

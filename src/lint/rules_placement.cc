@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Placement-layer lint rules (BTH050-BTH051): can the floorplanner
+ * possibly succeed? Rule BTH050 mirrors Floorplanner::placeCore's
+ * fitsWithin test for a single core on an otherwise empty device;
+ * BTH051 totals every system's cores against the whole device. Both
+ * are necessary conditions — the greedy placer can still fail later
+ * from fragmentation or memory mapping, which checkFit() reports — but
+ * failing either here proves no floorplan exists, with the worst
+ * offender named instead of a bare overflow.
+ */
+
+#include <algorithm>
+
+#include "lint/lint.h"
+
+namespace beethoven::lint
+{
+
+namespace
+{
+
+void
+ruleCoreFitsSomewhere(const CompositionModel &m, DiagnosticReport &rep)
+{
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size() &&
+                            s < m.systemCoreLogic.size();
+         ++s) {
+        const ResourceVec &est = m.systemCoreLogic[s];
+        const bool fits = std::any_of(
+            m.slrs.begin(), m.slrs.end(), [&](const SlrDescriptor &slr) {
+                return est.fitsWithin(slr.available());
+            });
+        if (!fits) {
+            rep.add("BTH050", systemPath(m, s),
+                    "one core needs {lut=" + std::to_string(u64(est.lut)) +
+                        " ff=" + std::to_string(u64(est.ff)) +
+                        " clb=" + std::to_string(u64(est.clb)) +
+                        "} and fits on no SLR of this device")
+                .note = "kernel estimate plus generated "
+                        "reader/writer/scratchpad control logic";
+        }
+    }
+}
+
+void
+ruleAggregateBudget(const CompositionModel &m, DiagnosticReport &rep)
+{
+    ResourceVec total_avail;
+    for (const SlrDescriptor &slr : m.slrs)
+        total_avail += slr.available();
+
+    ResourceVec demand;
+    std::size_t worst = 0;
+    double worst_lut = -1.0;
+    const auto &systems = m.config->systems;
+    for (std::size_t s = 0; s < systems.size() &&
+                            s < m.systemCoreLogic.size();
+         ++s) {
+        const ResourceVec sys_total =
+            m.systemCoreLogic[s] *
+            static_cast<double>(systems[s].nCores);
+        demand += sys_total;
+        if (sys_total.lut > worst_lut) {
+            worst_lut = sys_total.lut;
+            worst = s;
+        }
+    }
+    if (!systems.empty() && !demand.fitsWithin(total_avail)) {
+        rep.add("BTH051", "placement",
+                "aggregate core logic {lut=" +
+                    std::to_string(u64(demand.lut)) +
+                    " ff=" + std::to_string(u64(demand.ff)) +
+                    " clb=" + std::to_string(u64(demand.clb)) +
+                    "} exceeds the whole-device budget {lut=" +
+                    std::to_string(u64(total_avail.lut)) +
+                    " ff=" + std::to_string(u64(total_avail.ff)) +
+                    " clb=" + std::to_string(u64(total_avail.clb)) + "}")
+            .note = "worst offender: " + systemPath(m, worst) + " (" +
+                    std::to_string(u64(worst_lut)) + " LUTs across " +
+                    std::to_string(systems[worst].nCores) + " cores)";
+    }
+}
+
+} // namespace
+
+const std::vector<LintRuleEntry> &
+placementLintRules()
+{
+    static const std::vector<LintRuleEntry> rules = {
+        {"core-fits-somewhere", "placement", ruleCoreFitsSomewhere},
+        {"aggregate-budget", "placement", ruleAggregateBudget},
+    };
+    return rules;
+}
+
+} // namespace beethoven::lint

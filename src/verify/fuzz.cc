@@ -472,6 +472,8 @@ fuzzCaseToJson(const FuzzCase &c)
     os << "  \"seed\": \"" << u64Str(c.seed) << "\",\n";
     os << "  \"plant_violation\": "
        << (c.plantViolation ? "true" : "false") << ",\n";
+    os << "  \"plant_lint_violation\": "
+       << (c.plantLintViolation ? "true" : "false") << ",\n";
     const FuzzPlatformKnobs &p = c.platform;
     os << "  \"platform\": {\"n_slrs\": " << p.nSlrs
        << ", \"noc_fanout\": " << p.nocFanout
@@ -522,6 +524,10 @@ fuzzCaseFromJson(const std::string &text)
     FuzzCase c;
     c.seed = asU64String(root, "seed");
     c.plantViolation = asBool(root, "plant_violation");
+    // Optional for compatibility with repro files written before the
+    // composition linter existed.
+    if (const JsonValue *v = root.find("plant_lint_violation"))
+        c.plantLintViolation = v->isBool() && v->boolean;
 
     const JsonValue &p = member(root, "platform");
     c.platform.nSlrs = asUnsigned(p, "n_slrs");

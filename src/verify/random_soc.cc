@@ -132,6 +132,15 @@ buildAcceleratorConfig(const FuzzCase &c)
         sys.name = fuzzSystemName(static_cast<unsigned>(i));
         cfg.systems.push_back(std::move(sys));
     }
+    if (c.plantLintViolation) {
+        // A maximally broken rider: duplicates the first system's name,
+        // declares no cores, and carries no module constructor. The
+        // linter must report all three defects before elaboration.
+        AcceleratorSystemConfig bad;
+        bad.name = fuzzSystemName(0);
+        bad.nCores = 0;
+        cfg.systems.push_back(std::move(bad));
+    }
     return cfg;
 }
 

@@ -86,6 +86,10 @@ struct FuzzCase
     /** Test-only: inject a stray AXI beat at run start to prove the
      *  catch/shrink/replay loop end to end. */
     bool plantViolation = false;
+    /** Test-only: append a deliberately defective system (duplicate
+     *  name, zero cores, no constructor) so the composition linter's
+     *  catch path is provable end to end from a replayable case. */
+    bool plantLintViolation = false;
 };
 
 /** The simulation platform reshaped by a FuzzCase's knobs. */

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Run clang-tidy over the Beethoven sources using the checks pinned in
+# .clang-tidy. Skips cleanly (exit 0) when clang-tidy is unavailable,
+# so CI images without LLVM — like the gcc-only container this repo
+# usually builds in — don't fail spuriously.
+#
+# Usage: tools/run_tidy.sh [BUILD_DIR]
+#   BUILD_DIR  a cmake build tree with compile_commands.json
+#              (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_tidy: clang-tidy not found; skipping (install LLVM to" \
+         "enable static analysis)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: $build_dir/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+    exit 2
+fi
+
+cd "$repo_root"
+files=$(find src tools -name '*.cc' | sort)
+echo "run_tidy: checking $(echo "$files" | wc -l) files"
+# shellcheck disable=SC2086
+clang-tidy -p "$build_dir" --quiet $files
+echo "run_tidy: clean"

@@ -11,7 +11,13 @@
  * Usage:
  *   soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]
  *            [--max-ops=N] [--repro-out=PATH] [--no-shrink]
- *            [--plant-violation] [--replay=PATH] [--verbose]
+ *            [--plant-violation] [--plant-lint-violation]
+ *            [--replay=PATH] [--verbose]
+ *
+ * Every sampled case is cross-checked against the composition linter
+ * (src/lint/) before it runs; a sampled case with error-severity
+ * findings means the sampler and linter disagree and is itself a
+ * failure.
  *
  * Exit codes: 0 all iterations clean, 3 a failure was found (repro
  * written if --repro-out), 2 usage or IO error.
@@ -22,6 +28,7 @@
 #include <string>
 
 #include "base/log.h"
+#include "lint/lint.h"
 #include "verify/fuzz.h"
 #include "verify/traffic.h"
 
@@ -36,8 +43,8 @@ usage(std::ostream &os)
 {
     os << "usage: soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]\n"
           "                [--max-ops=N] [--repro-out=PATH] [--no-shrink]\n"
-          "                [--plant-violation] [--replay=PATH] "
-          "[--verbose]\n"
+          "                [--plant-violation] [--plant-lint-violation]\n"
+          "                [--replay=PATH] [--verbose]\n"
           "\n"
           "  --seed=N            base RNG seed (default 1)\n"
           "  --iterations=N      cases to run (default 25)\n"
@@ -48,6 +55,10 @@ usage(std::ostream &os)
           "  --no-shrink         report the raw failing case unshrunk\n"
           "  --plant-violation   inject a bogus AXI beat into every\n"
           "                      case (self-test of the catch path)\n"
+          "  --plant-lint-violation\n"
+          "                      append a defective system to every\n"
+          "                      case (self-test of the composition\n"
+          "                      linter's catch path)\n"
           "  --replay=PATH       run one case from a repro file instead\n"
           "                      of sampling\n"
           "  --verbose           per-iteration progress lines\n";
@@ -87,6 +98,7 @@ main(int argc, char **argv)
     std::string replay_path;
     bool do_shrink = true;
     bool plant = false;
+    bool plant_lint = false;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -104,6 +116,8 @@ main(int argc, char **argv)
             do_shrink = false;
         } else if (arg == "--plant-violation") {
             plant = true;
+        } else if (arg == "--plant-lint-violation") {
+            plant_lint = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -143,6 +157,29 @@ main(int argc, char **argv)
         RandomTrafficGen traffic(case_seed ^ 0x74726166666963ULL);
         traffic.generate(c, static_cast<unsigned>(max_ops));
         c.plantViolation = plant;
+        c.plantLintViolation = plant_lint;
+
+        // Cross-check the sampler against the composition linter:
+        // every sampled case must be lint-clean (no error-severity
+        // findings). A finding here is a bug in RandomSocBuilder or a
+        // lint rule drifting from what elaboration accepts.
+        {
+            const lint::DiagnosticReport lint_rep =
+                lint::lintComposition(buildAcceleratorConfig(c),
+                                      FuzzPlatform(c.platform));
+            if (!plant_lint && lint_rep.hasErrors()) {
+                std::cerr << "soc_fuzz: sampled case (seed " << case_seed
+                          << ") is not lint-clean:\n"
+                          << lint_rep.format();
+                return 3;
+            }
+            if (plant_lint && !lint_rep.hasErrors()) {
+                std::cerr << "soc_fuzz: planted lint violation was not "
+                             "caught (seed "
+                          << case_seed << ")\n";
+                return 2;
+            }
+        }
 
         const FuzzResult r = runFuzzCase(c, opt);
         total_cycles += r.cycles;

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * soc_lint — static composition linter CLI (see DESIGN.md §5c).
+ *
+ * Runs every registered lint rule over a serialized composition (the
+ * same self-contained JSON format soc_fuzz writes for repro files:
+ * platform shape + systems; any "ops" array is ignored) without
+ * building the SoC, and prints the structured diagnostic report.
+ *
+ * Usage:
+ *   soc_lint [--json] [--werror] [--list-codes] CASE.json
+ *
+ * Exit codes: 0 composition is clean (warnings alone are reported but
+ * do not fail without --werror), 2 blocking findings, 3 usage error or
+ * malformed/unreadable input.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/log.h"
+#include "lint/lint.h"
+#include "verify/fuzz.h"
+#include "verify/random_soc.h"
+
+using namespace beethoven;
+using namespace beethoven::verify;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: soc_lint [--json] [--werror] [--list-codes] "
+          "CASE.json\n"
+          "\n"
+          "  --json        emit the diagnostic report as JSON\n"
+          "  --werror      treat warnings as blocking findings\n"
+          "  --list-codes  print the diagnostic code registry and "
+          "exit\n"
+          "\n"
+          "CASE.json uses the soc_fuzz repro format (platform shape +\n"
+          "systems); traffic ops, if present, are ignored.\n";
+}
+
+void
+listCodes(std::ostream &os)
+{
+    for (const auto &info : lint::diagnosticRegistry()) {
+        os << info.code << "  " << lint::severityName(info.severity)
+           << "  [" << info.layer << "] " << info.summary << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool as_json = false;
+    bool werror = false;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--list-codes") {
+            listCodes(std::cout);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "soc_lint: unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            return 3;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "soc_lint: more than one input file\n";
+            usage(std::cerr);
+            return 3;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "soc_lint: no input file\n";
+        usage(std::cerr);
+        return 3;
+    }
+
+    FuzzCase c;
+    try {
+        c = loadReproFile(path);
+    } catch (const ConfigError &e) {
+        std::cerr << "soc_lint: " << e.what() << "\n";
+        return 3;
+    }
+
+    lint::DiagnosticReport report;
+    try {
+        const AcceleratorConfig cfg = buildAcceleratorConfig(c);
+        const FuzzPlatform platform(c.platform);
+        report = lint::lintComposition(cfg, platform);
+    } catch (const ConfigError &e) {
+        // buildAcceleratorConfig rejects cases the linter never sees
+        // (e.g. no systems at all); treat that as malformed input.
+        std::cerr << "soc_lint: " << e.what() << "\n";
+        return 3;
+    }
+
+    if (as_json) {
+        std::cout << report.toJson();
+    } else {
+        std::cout << report.format();
+        std::cout << path << ": " << report.errorCount()
+                  << " error(s), " << report.warningCount()
+                  << " warning(s)\n";
+    }
+
+    const bool blocking =
+        report.hasErrors() || (werror && report.warningCount() > 0);
+    return blocking ? 2 : 0;
+}

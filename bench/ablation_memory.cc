@@ -53,6 +53,7 @@ copyCycles(const Platform &platform, const MemcpyCore::Variant &variant,
         sink->beginProcess(label);
         soc.sim().attachTrace(sink);
     }
+    cli.instrument(soc.sim());
     remote_ptr src = handle.malloc(len);
     remote_ptr dst = handle.malloc(len);
     for (u64 i = 0; i < len; ++i)

@@ -9,6 +9,9 @@
 
 #include "base/json.h"
 #include "base/log.h"
+#include "perf/host_clock.h"
+#include "perf/host_profiler.h"
+#include "perf/kpi.h"
 #include "sim/simulator.h"
 #include "trace/bottleneck.h"
 #include "verify/invariants.h"
@@ -16,8 +19,52 @@
 namespace beethoven
 {
 
-BenchCli::BenchCli(int &argc, char **argv)
+namespace
 {
+
+/** argv[0] without directories, for the perf-json bench field. */
+std::string
+benchBasename(const char *argv0)
+{
+    std::string s = argv0 != nullptr ? argv0 : "bench";
+    const std::size_t slash = s.find_last_of('/');
+    return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/**
+ * Parse a --host-profile mode spec: "" (bare flag) and "sample:N"
+ * select sampling, "scoped" measures every cycle. Anything else is a
+ * usage error (exit 2, consistent with bad output paths).
+ */
+std::unique_ptr<HostProfiler>
+makeProfiler(const std::string &spec)
+{
+    if (spec.empty())
+        return std::make_unique<HostProfiler>(
+            HostProfiler::Mode::Sampling);
+    if (spec == "scoped")
+        return std::make_unique<HostProfiler>(
+            HostProfiler::Mode::Scoped);
+    if (spec.rfind("sample:", 0) == 0) {
+        const unsigned long n =
+            std::strtoul(spec.c_str() + 7, nullptr, 10);
+        if (n >= 1)
+            return std::make_unique<HostProfiler>(
+                HostProfiler::Mode::Sampling, static_cast<u32>(n));
+    }
+    std::cerr << "bad --host-profile mode '" << spec
+              << "' (expected scoped or sample:N)\n";
+    std::exit(2);
+}
+
+} // namespace
+
+BenchCli::BenchCli(int &argc, char **argv)
+    : _benchName(benchBasename(argc > 0 ? argv[0] : nullptr)),
+      _startNs(hostNowNs())
+{
+    bool host_profile = false;
+    std::string profile_spec;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -27,6 +74,13 @@ BenchCli::BenchCli(int &argc, char **argv)
             _statsPath = arg + 13;
         } else if (std::strncmp(arg, "--stall-report=", 15) == 0) {
             _stallReportPath = arg + 15;
+        } else if (std::strncmp(arg, "--perf-json=", 12) == 0) {
+            _perfPath = arg + 12;
+        } else if (std::strcmp(arg, "--host-profile") == 0) {
+            host_profile = true;
+        } else if (std::strncmp(arg, "--host-profile=", 15) == 0) {
+            host_profile = true;
+            profile_spec = arg + 15;
         } else if (std::strncmp(arg, "--watchdog=", 11) == 0) {
             _watchdog = std::strtoull(arg + 11, nullptr, 10);
         } else if (std::strcmp(arg, "--quick") == 0) {
@@ -41,6 +95,13 @@ BenchCli::BenchCli(int &argc, char **argv)
     }
     argc = out;
     argv[argc] = nullptr;
+
+    if (host_profile)
+        _profiler = makeProfiler(profile_spec);
+    else if (!_perfPath.empty())
+        // KPIs only: heartbeat without per-component timing.
+        _profiler = std::make_unique<HostProfiler>(
+            HostProfiler::Mode::KpiOnly);
 
     // Fail unwritable output paths before any simulation runs. The
     // append-mode probe creates missing files but never truncates an
@@ -58,16 +119,27 @@ BenchCli::BenchCli(int &argc, char **argv)
     probe(_tracePath, "trace");
     probe(_statsPath, "stats");
     probe(_stallReportPath, "stall report");
+    probe(_perfPath, "perf json");
 
     if (!_tracePath.empty())
         _sink = std::make_unique<TraceSink>();
 }
+
+BenchCli::~BenchCli() = default;
 
 void
 BenchCli::armWatchdog(Simulator &sim) const
 {
     if (_watchdog != 0)
         sim.setWatchdog(_watchdog);
+}
+
+void
+BenchCli::instrument(Simulator &sim) const
+{
+    armWatchdog(sim);
+    if (_profiler != nullptr)
+        sim.attachHostProfiler(_profiler.get());
 }
 
 std::unique_ptr<SocInvariants>
@@ -143,6 +215,21 @@ BenchCli::finish()
             f << combinedStatsJson();
         }
     }
+    if (!_perfPath.empty()) {
+        std::ofstream f(_perfPath);
+        if (!f) {
+            std::cerr << "cannot open perf json file " << _perfPath
+                      << "\n";
+            rc = 1;
+        } else {
+            writePerfJson(f, _benchName, _quick,
+                          hostNowNs() - _startNs, globalSimCycles(),
+                          globalModuleTicks(), _profiler.get());
+        }
+    }
+    if (_profiler != nullptr &&
+        _profiler->mode() != HostProfiler::Mode::KpiOnly)
+        _profiler->writeReport(std::cerr);
     if (!_stallReportPath.empty()) {
         try {
             const std::vector<RunStallReport> runs =

@@ -13,6 +13,16 @@
  *                       recordStats() label
  *   --stall-report=FILE bottleneck analysis of the stall-attribution
  *                       stats: ranked table on stdout, JSON to FILE
+ *   --perf-json=FILE    run-level host KPIs (schema beethoven-perf-1):
+ *                       wall_ms, sim_cycles, cycles_per_sec,
+ *                       peak_rss_kb, allocation churn, cycles/sec
+ *                       heartbeat — the per-bench record tools/soc_perf
+ *                       aggregates into BENCH_<label>.json
+ *   --host-profile[=M]  attribute wall-clock per module in the step
+ *                       loop; M is "scoped", or "sample:N" (measure
+ *                       every Nth cycle; bare --host-profile means
+ *                       sample:64). Breakdown prints to stderr and
+ *                       lands in --perf-json output
  *   --watchdog=N        arm the simulator hang watchdog (abort after N
  *                       cycles without forward progress; 0 = off)
  *   --no-invariants     detach the live SocInvariants observers (AXI
@@ -46,6 +56,7 @@ namespace beethoven
 {
 
 class AcceleratorSoc;
+class HostProfiler;
 class Simulator;
 class SocInvariants;
 
@@ -55,6 +66,8 @@ class BenchCli
     /** Parse and remove recognized flags from @p argc / @p argv. */
     BenchCli(int &argc, char **argv);
 
+    ~BenchCli(); // out of line: HostProfiler is incomplete here
+
     /** The trace sink, or nullptr when --trace was not given. */
     TraceSink *sink() { return _sink.get(); }
 
@@ -63,6 +76,18 @@ class BenchCli
 
     /** Arm @p sim's hang watchdog when --watchdog=N was given. */
     void armWatchdog(Simulator &sim) const;
+
+    /**
+     * Attach the observability this invocation asked for to @p sim:
+     * the hang watchdog (--watchdog) and the host profiler
+     * (--host-profile / --perf-json). Benches call this once per
+     * constructed Simulator, right after elaboration; the profiler
+     * accumulates across all instrumented simulators in the process.
+     */
+    void instrument(Simulator &sim) const;
+
+    /** The host profiler, or nullptr when neither perf flag was given. */
+    HostProfiler *profiler() const { return _profiler.get(); }
 
     bool invariantsEnabled() const { return _invariants; }
 
@@ -98,13 +123,17 @@ class BenchCli
   private:
     std::string combinedStatsJson() const;
 
+    std::string _benchName;
     std::string _tracePath;
     std::string _statsPath;
     std::string _stallReportPath;
+    std::string _perfPath;
     bool _quick = false;
     bool _invariants = true;
     u64 _watchdog = 0;
+    u64 _startNs = 0;
     std::unique_ptr<TraceSink> _sink;
+    std::unique_ptr<HostProfiler> _profiler;
     std::vector<std::pair<std::string, std::string>> _statsJson;
 };
 

@@ -50,7 +50,7 @@ beethovenCopyCycles(const MemcpyCore::Variant &variant, u64 len,
         sink->beginProcess(label);
         soc.sim().attachTrace(sink);
     }
-    cli.armWatchdog(soc.sim());
+    cli.instrument(soc.sim());
 
     remote_ptr src = handle.malloc(len);
     remote_ptr dst = handle.malloc(len);
@@ -85,7 +85,7 @@ rawCopyCycles(const RawAxiMemcpy::Params &params, u64 len, BenchCli &cli,
         sink->beginProcess(label);
         sim.attachTrace(sink);
     }
-    cli.armWatchdog(sim);
+    cli.instrument(sim);
     engine.start(0x100000, 0x4000000, len);
     const Cycle start = sim.cycle();
     if (!sim.runUntil([&] { return engine.done(); }, 100'000'000ULL))

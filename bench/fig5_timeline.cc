@@ -45,6 +45,7 @@ runRaw(const char *title, const RawAxiMemcpy::Params &params,
         sink->beginProcess(label);
         sim.attachTrace(sink);
     }
+    cli.instrument(sim);
 
     // Pre-warm with a dummy copy so row state resembles steady
     // operation, then record the 4 KB copy of interest.
@@ -73,6 +74,7 @@ runBeethoven(const char *title, const MemcpyCore::Variant &variant,
         sink->beginProcess(label);
         soc.sim().attachTrace(sink);
     }
+    cli.instrument(soc.sim());
 
     remote_ptr src = handle.malloc(4096);
     remote_ptr dst = handle.malloc(4096);

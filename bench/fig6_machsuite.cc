@@ -114,6 +114,7 @@ runKernel(const KernelDriver &driver,
         sink->beginProcess(driver.name);
         soc.sim().attachTrace(sink);
     }
+    cli.instrument(soc.sim());
 
     // Per-core operand buffers.
     std::vector<std::vector<u64>> args;

@@ -34,7 +34,7 @@ main(int argc, char **argv)
         sink->beginProcess("a3");
         soc.sim().attachTrace(sink);
     }
-    cli.armWatchdog(soc.sim());
+    cli.instrument(soc.sim());
 
     const unsigned n_keys = 320, n_queries = 128;
     Rng rng(3);

@@ -152,8 +152,12 @@ BENCHMARK(BM_EndToEndVecAdd);
 int
 main(int argc, char **argv)
 {
-    // Strip --trace/--stats-json/--quick before google-benchmark sees
-    // them: it rejects unrecognized flags outright.
+    // Strip --trace/--stats-json/--perf-json/--quick (and the rest of
+    // the shared observability flags) before google-benchmark sees
+    // them: it rejects unrecognized flags outright. The sims inside
+    // the benchmark bodies are not cli.instrument()ed — host-profiling
+    // a microbenchmark would measure the profiler — but --perf-json
+    // still reports process KPIs from the global cycle counters.
     BenchCli cli(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

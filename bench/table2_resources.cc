@@ -88,6 +88,7 @@ main(int argc, char **argv)
 
     AcceleratorSoc soc(AcceleratorConfig(A3Core::systemConfig(n_cores)),
                        platform);
+    cli.instrument(soc.sim());
     auto &fp = soc.floorplan();
 
     const ResourceVec cap = fp.totalCapacity();

@@ -69,6 +69,7 @@ simulatedOpsPerSecond(const Platform &platform, unsigned n_cores,
         sink->beginProcess(label);
         soc.sim().attachTrace(sink);
     }
+    cli.instrument(soc.sim());
 
     const unsigned n_keys = 320;
     Rng rng(17);

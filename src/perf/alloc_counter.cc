@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Global operator new/delete overrides that count allocation churn
+ * for the KPI layer (allocCounters() in perf/kpi.h).
+ *
+ * The counters are relaxed atomics: exact totals matter, ordering
+ * does not, and the ~1 ns increment keeps the overrides out of any
+ * profile. Every override forwards to malloc/free, so sanitizer
+ * interposition (ASan tracks the malloc layer) keeps working.
+ *
+ * This translation unit defines the replaceable global allocation
+ * functions, so the static-archive rule applies: a binary picks the
+ * overrides up only if it references something else in this TU —
+ * which is exactly allocCounters(). Binaries that never read the
+ * counters keep the default allocator entry points.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "perf/kpi.h"
+
+namespace
+{
+
+std::atomic<beethoven::u64> g_allocs{0};
+std::atomic<beethoven::u64> g_frees{0};
+std::atomic<beethoven::u64> g_bytes{0};
+
+void *
+countedAlloc(std::size_t n)
+{
+    void *p = std::malloc(n != 0 ? n : 1);
+    if (p != nullptr) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+        g_bytes.fetch_add(n, std::memory_order_relaxed);
+    }
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t n, std::size_t align)
+{
+    void *p = nullptr;
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    if (posix_memalign(&p, align, n != 0 ? n : 1) != 0)
+        return nullptr;
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
+    return p;
+}
+
+void
+countedFree(void *p)
+{
+    if (p != nullptr) {
+        g_frees.fetch_add(1, std::memory_order_relaxed);
+        std::free(p);
+    }
+}
+
+} // namespace
+
+namespace beethoven
+{
+
+AllocCounters
+allocCounters()
+{
+    return AllocCounters{g_allocs.load(std::memory_order_relaxed),
+                         g_frees.load(std::memory_order_relaxed),
+                         g_bytes.load(std::memory_order_relaxed)};
+}
+
+} // namespace beethoven
+
+void *
+operator new(std::size_t n)
+{
+    if (void *p = countedAlloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    if (void *p = countedAlloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    if (void *p =
+            countedAlignedAlloc(n, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    if (void *p =
+            countedAlignedAlloc(n, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}

@@ -1,0 +1,157 @@
+#include "perf/bench_json.h"
+
+#include "base/json.h"
+#include "base/log.h"
+
+namespace beethoven
+{
+
+const BenchPerfRecord *
+BenchSuite::find(const std::string &name) const
+{
+    for (const BenchPerfRecord &b : benches)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeBenchSuiteJson(std::ostream &os, const BenchSuite &suite)
+{
+    os << "{\"schema\":\"" << BenchSuite::kSchema << "\",\"label\":\""
+       << jsonEscape(suite.label) << "\",\"quick\":"
+       << (suite.quick ? "true" : "false") << ",\"runs\":" << suite.runs
+       << ",\"benches\":[";
+    bool first = true;
+    for (const BenchPerfRecord &b : suite.benches) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\":\"" << jsonEscape(b.name)
+           << "\",\"wall_ms\":" << b.wallMs
+           << ",\"sim_cycles\":" << b.simCycles
+           << ",\"cycles_per_sec\":" << b.cyclesPerSec
+           << ",\"peak_rss_kb\":" << b.peakRssKb
+           << ",\"module_ticks\":" << b.moduleTicks << ",\"host_top\":[";
+        bool tfirst = true;
+        for (const HostTopEntry &t : b.hostTop) {
+            if (!tfirst)
+                os << ",";
+            tfirst = false;
+            os << "{\"component\":\"" << jsonEscape(t.component)
+               << "\",\"ns\":" << t.ns << ",\"share\":" << t.share
+               << "}";
+        }
+        os << "]}";
+    }
+    os << "\n]}\n";
+}
+
+namespace
+{
+
+double
+requireNumber(const JsonValue &obj, const char *key, const char *where)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        fatal("BENCH json: missing or non-numeric \"%s\" in %s", key,
+              where);
+    return v->number;
+}
+
+std::string
+requireString(const JsonValue &obj, const char *key, const char *where)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isString())
+        fatal("BENCH json: missing or non-string \"%s\" in %s", key,
+              where);
+    return v->string;
+}
+
+} // namespace
+
+BenchSuite
+parseBenchSuite(const JsonValue &v)
+{
+    if (!v.isObject())
+        fatal("BENCH json: top level is not an object");
+    const JsonValue *schema = v.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string != BenchSuite::kSchema)
+        fatal("BENCH json: missing or unsupported schema marker "
+              "(expected \"%s\")",
+              BenchSuite::kSchema);
+
+    BenchSuite suite;
+    suite.label = requireString(v, "label", "suite");
+    if (const JsonValue *q = v.find("quick"); q != nullptr && q->isBool())
+        suite.quick = q->boolean;
+    if (const JsonValue *r = v.find("runs"); r != nullptr && r->isNumber())
+        suite.runs = static_cast<unsigned>(r->number);
+
+    const JsonValue *benches = v.find("benches");
+    if (benches == nullptr || !benches->isArray())
+        fatal("BENCH json: missing \"benches\" array");
+    for (const JsonValue &b : benches->array) {
+        if (!b.isObject())
+            fatal("BENCH json: bench entry is not an object");
+        BenchPerfRecord rec;
+        rec.name = requireString(b, "name", "bench entry");
+        const char *where = rec.name.c_str();
+        rec.wallMs = requireNumber(b, "wall_ms", where);
+        rec.simCycles =
+            static_cast<u64>(requireNumber(b, "sim_cycles", where));
+        rec.cyclesPerSec = requireNumber(b, "cycles_per_sec", where);
+        rec.peakRssKb =
+            static_cast<u64>(requireNumber(b, "peak_rss_kb", where));
+        if (const JsonValue *t = b.find("module_ticks");
+            t != nullptr && t->isNumber())
+            rec.moduleTicks = static_cast<u64>(t->number);
+        if (const JsonValue *ht = b.find("host_top");
+            ht != nullptr && ht->isArray()) {
+            for (const JsonValue &t : ht->array) {
+                if (!t.isObject())
+                    continue;
+                HostTopEntry e;
+                e.component = requireString(t, "component", where);
+                e.ns = static_cast<u64>(requireNumber(t, "ns", where));
+                if (const JsonValue *s = t.find("share");
+                    s != nullptr && s->isNumber())
+                    e.share = s->number;
+                rec.hostTop.push_back(std::move(e));
+            }
+        }
+        suite.benches.push_back(std::move(rec));
+    }
+    return suite;
+}
+
+} // namespace beethoven

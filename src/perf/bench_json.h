@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The BENCH_<label>.json perf-trajectory schema.
+ *
+ * One file records one measured commit: for every bench in the suite,
+ * the median-of-N wall time, simulated cycle count, cycles/sec, peak
+ * RSS, and the top host-time components from a profiled run.
+ * tools/soc_perf writes these; tools/perf_compare diffs two of them;
+ * committed files live under perf/ (one per measured commit, labeled
+ * by the label convention documented in README.md).
+ *
+ * The writer emits schema "beethoven-bench-1"; the parser accepts
+ * exactly that schema and throws ConfigError on anything else, so a
+ * regression gate can distinguish "slower" (exit 2) from "not a BENCH
+ * file" (exit 3).
+ */
+
+#ifndef BEETHOVEN_PERF_BENCH_JSON_H
+#define BEETHOVEN_PERF_BENCH_JSON_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+struct JsonValue;
+
+/** One host-time component in a bench's top-N breakdown. */
+struct HostTopEntry
+{
+    std::string component;
+    u64 ns = 0;
+    double share = 0.0;
+};
+
+/** Per-bench KPIs, medians across the suite runner's repetitions. */
+struct BenchPerfRecord
+{
+    std::string name;
+    double wallMs = 0.0;
+    u64 simCycles = 0;
+    double cyclesPerSec = 0.0;
+    u64 peakRssKb = 0;
+    u64 moduleTicks = 0;
+    std::vector<HostTopEntry> hostTop;
+};
+
+struct BenchSuite
+{
+    static constexpr const char *kSchema = "beethoven-bench-1";
+
+    std::string label;
+    bool quick = false;
+    unsigned runs = 0;
+    std::vector<BenchPerfRecord> benches;
+
+    /** Record for @p name, or nullptr. */
+    const BenchPerfRecord *find(const std::string &name) const;
+};
+
+/** Escape a string for embedding in a JSON literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+void writeBenchSuiteJson(std::ostream &os, const BenchSuite &suite);
+
+/**
+ * Parse a BENCH suite from already-parsed JSON.
+ * @throws ConfigError when the schema marker or required per-bench
+ *         keys are missing or mistyped.
+ */
+BenchSuite parseBenchSuite(const JsonValue &v);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PERF_BENCH_JSON_H

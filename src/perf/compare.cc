@@ -1,0 +1,118 @@
+#include "perf/compare.h"
+
+#include <iomanip>
+
+namespace beethoven
+{
+
+namespace
+{
+
+const char *
+verdictName(BenchVerdict v)
+{
+    switch (v) {
+    case BenchVerdict::Ok:
+        return "ok";
+    case BenchVerdict::Regressed:
+        return "REGRESSED";
+    case BenchVerdict::Missing:
+        return "MISSING";
+    case BenchVerdict::New:
+        return "new";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+CompareResult::regressed() const
+{
+    for (const BenchDelta &d : deltas)
+        if (d.verdict == BenchVerdict::Regressed ||
+            d.verdict == BenchVerdict::Missing)
+            return true;
+    return false;
+}
+
+CompareResult
+compareSuites(const BenchSuite &base, const BenchSuite &cand,
+              const CompareOptions &opt)
+{
+    CompareResult result;
+    for (const BenchPerfRecord &b : base.benches) {
+        BenchDelta d;
+        d.name = b.name;
+        d.baseCps = b.cyclesPerSec;
+        d.baseWallMs = b.wallMs;
+        const BenchPerfRecord *c = cand.find(b.name);
+        if (c == nullptr) {
+            d.verdict = BenchVerdict::Missing;
+            d.note = "absent from candidate";
+            result.deltas.push_back(std::move(d));
+            continue;
+        }
+        d.candCps = c->cyclesPerSec;
+        d.candWallMs = c->wallMs;
+        if (b.cyclesPerSec > 0.0) {
+            d.deltaPct =
+                100.0 * (c->cyclesPerSec / b.cyclesPerSec - 1.0);
+            d.verdict = c->cyclesPerSec <
+                                b.cyclesPerSec * (1.0 - opt.tolerance)
+                            ? BenchVerdict::Regressed
+                            : BenchVerdict::Ok;
+        } else if (b.wallMs >= opt.wallFloorMs && b.wallMs > 0.0) {
+            // No simulated cycles (elaboration-only bench): judge on
+            // wall time, slower-is-worse.
+            d.deltaPct = 100.0 * (b.wallMs / c->wallMs - 1.0);
+            d.verdict =
+                c->wallMs > b.wallMs * (1.0 + opt.tolerance)
+                    ? BenchVerdict::Regressed
+                    : BenchVerdict::Ok;
+            d.note = "wall-time basis";
+        } else {
+            d.verdict = BenchVerdict::Ok;
+            d.note = "below noise floor";
+        }
+        result.deltas.push_back(std::move(d));
+    }
+    for (const BenchPerfRecord &c : cand.benches) {
+        if (base.find(c.name) != nullptr)
+            continue;
+        BenchDelta d;
+        d.name = c.name;
+        d.candCps = c.cyclesPerSec;
+        d.candWallMs = c.wallMs;
+        d.verdict = BenchVerdict::New;
+        d.note = "absent from baseline";
+        result.deltas.push_back(std::move(d));
+    }
+    return result;
+}
+
+void
+writeCompareTable(std::ostream &os, const CompareResult &result,
+                  const CompareOptions &opt)
+{
+    os << std::left << std::setw(18) << "bench" << std::right
+       << std::setw(14) << "base cyc/s" << std::setw(14) << "cand cyc/s"
+       << std::setw(9) << "delta" << "  verdict\n";
+    os << std::fixed;
+    for (const BenchDelta &d : result.deltas) {
+        os << std::left << std::setw(18) << d.name << std::right
+           << std::setprecision(0) << std::setw(14) << d.baseCps
+           << std::setw(14) << d.candCps;
+        os << std::setw(8) << std::setprecision(1) << d.deltaPct << "%";
+        os << "  " << verdictName(d.verdict);
+        if (!d.note.empty())
+            os << " (" << d.note << ")";
+        os << "\n";
+    }
+    os << "tolerance: " << std::setprecision(0) << 100.0 * opt.tolerance
+       << "% relative "
+       << (result.regressed() ? "-> REGRESSION\n" : "-> ok\n");
+    os.unsetf(std::ios::floatfield);
+}
+
+} // namespace beethoven

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The perf-regression verdict: diff two BENCH suites with a relative
+ * tolerance. Kept out of the CLI so the verdict rules are unit-tested
+ * directly (tests/perf_test.cc) and the tool is a thin shell.
+ */
+
+#ifndef BEETHOVEN_PERF_COMPARE_H
+#define BEETHOVEN_PERF_COMPARE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/bench_json.h"
+
+namespace beethoven
+{
+
+struct CompareOptions
+{
+    /**
+     * Allowed relative slowdown before a bench counts as regressed:
+     * candidate cycles/sec below baseline * (1 - tolerance) fails.
+     * 0.10 = 10%.
+     */
+    double tolerance = 0.10;
+
+    /**
+     * Benches whose baseline wall time is below this floor are never
+     * judged on wall time (elaboration-only benches finish in
+     * milliseconds, where scheduler noise dwarfs any real signal).
+     */
+    double wallFloorMs = 100.0;
+};
+
+enum class BenchVerdict {
+    Ok,        ///< within tolerance (or below the noise floor)
+    Regressed, ///< candidate slower than tolerance allows
+    Missing,   ///< present in baseline, absent in candidate
+    New,       ///< present only in candidate (informational)
+};
+
+struct BenchDelta
+{
+    std::string name;
+    double baseCps = 0.0;
+    double candCps = 0.0;
+    double baseWallMs = 0.0;
+    double candWallMs = 0.0;
+    /** Relative cycles/sec change, candidate vs baseline (+ = faster). */
+    double deltaPct = 0.0;
+    BenchVerdict verdict = BenchVerdict::Ok;
+    std::string note;
+};
+
+struct CompareResult
+{
+    std::vector<BenchDelta> deltas;
+
+    /** True if any bench regressed or went missing. */
+    bool regressed() const;
+};
+
+/**
+ * Judge @p cand against @p base. Benches that simulate (baseline
+ * cycles/sec > 0) are judged on cycles/sec; benches that do not are
+ * judged on wall time above the noise floor, and otherwise always
+ * pass. A bench present in the baseline but missing from the
+ * candidate is a regression (the trajectory lost coverage).
+ */
+CompareResult compareSuites(const BenchSuite &base,
+                            const BenchSuite &cand,
+                            const CompareOptions &opt);
+
+/** Human-readable per-bench table with verdicts. */
+void writeCompareTable(std::ostream &os, const CompareResult &result,
+                       const CompareOptions &opt);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PERF_COMPARE_H

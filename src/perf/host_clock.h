@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The monotonic host clock used by the host-performance layer.
+ *
+ * All host-time observability (src/perf/) reads wall-clock through
+ * this one function so the clock source can be swapped in one place.
+ * CLOCK_MONOTONIC via clock_gettime costs ~20 ns on Linux (vDSO, no
+ * syscall); platforms without POSIX clocks fall back to
+ * std::chrono::steady_clock, which is typically the same clock with
+ * slightly more call overhead.
+ *
+ * Host time never feeds back into simulation: simulated behaviour is
+ * derived exclusively from seeds and cycle counts (the determinism
+ * guard in tests/perf_test.cc pins this), so everything in src/perf/
+ * is observability-only by construction.
+ */
+
+#ifndef BEETHOVEN_PERF_HOST_CLOCK_H
+#define BEETHOVEN_PERF_HOST_CLOCK_H
+
+#include <chrono>
+#if defined(__unix__) || defined(__APPLE__)
+#include <ctime>
+#define BEETHOVEN_HAVE_POSIX_CLOCK 1
+#endif
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+/** Nanoseconds on a monotonic clock with an arbitrary epoch. */
+inline u64
+hostNowNs()
+{
+#ifdef BEETHOVEN_HAVE_POSIX_CLOCK
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<u64>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<u64>(ts.tv_nsec);
+#else
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PERF_HOST_CLOCK_H

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Host-time attribution for the simulator's own hot path.
+ *
+ * The existing observability stack (src/trace/) explains where
+ * *simulated* cycles go; the HostProfiler explains where *wall-clock*
+ * goes while the simulator produces those cycles — the breakdown the
+ * ROADMAP's cycles-per-second KPI work needs before the step loop can
+ * be made event-driven or sharded.
+ *
+ * Attach a profiler to a Simulator (Simulator::attachHostProfiler) and
+ * every step is accounted against named components: one component per
+ * registered module, plus a builtin "(commit)" bucket for the
+ * end-of-cycle commit phase. Attribution happens with a chain of
+ * monotonic clock reads (one per module per measured cycle), so
+ * per-component times are disjoint sub-intervals of the measured
+ * step-loop total and always sum to <= it.
+ *
+ * Three modes bound the overhead:
+ *
+ *   KpiOnly   no per-component timing; only the cycles/sec heartbeat
+ *             runs (one clock read every heartbeat window). This is
+ *             what --perf-json alone enables.
+ *   Sampling  every Nth cycle is fully timed (default N=64); measured
+ *             shares estimate the true breakdown with ~1/N of the
+ *             scoped cost. The default for --host-profile, keeping
+ *             overhead well under the 5% budget (DESIGN.md 4e).
+ *   Scoped    every cycle is timed. Exact, costliest; used by the
+ *             conservation tests and short diagnostic runs.
+ *
+ * A profiler may be attached to many Simulators sequentially (benches
+ * construct one SoC per configuration); components with equal names
+ * accumulate across attachments, so "ddr" means all DRAM controllers
+ * the process ticked.
+ *
+ * The profiler never mutates simulation state; tests/perf_test.cc
+ * proves a profiled run's stats digest is bit-identical to an
+ * unprofiled one.
+ */
+
+#ifndef BEETHOVEN_PERF_HOST_PROFILER_H
+#define BEETHOVEN_PERF_HOST_PROFILER_H
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace beethoven
+{
+
+class TraceSink;
+
+class HostProfiler
+{
+  public:
+    enum class Mode { KpiOnly, Sampling, Scoped };
+
+    /**
+     * @param period     cycles between measured cycles (Sampling mode;
+     *                   clamped to >= 1, ignored otherwise)
+     * @param hb_period  cycles between heartbeat samples (rounded up
+     *                   to a power of two)
+     */
+    explicit HostProfiler(Mode mode = Mode::Sampling, u32 period = 64,
+                          Cycle hb_period = 1ull << 12);
+
+    Mode mode() const { return _mode; }
+    u32 period() const { return _period; }
+    const char *modeName() const;
+
+    /** Get-or-create the component named @p name. */
+    u32 componentId(const std::string &name);
+
+    /** Builtin bucket for the commit phase. */
+    u32 commitComponentId() const { return _commitId; }
+
+    // ---- hot path (called by Simulator::step) ----------------------
+
+    /**
+     * Account one elapsed cycle: advances the heartbeat and decides
+     * whether this cycle's phases should be individually timed.
+     * @return true if the caller should time this cycle.
+     */
+    bool onCycle();
+
+    /** Attribute @p ns of host time to component @p id. */
+    void add(u32 id, u64 ns)
+    {
+        _components[id].ns += ns;
+        ++_components[id].calls;
+    }
+
+    /** Account @p ns of measured step-loop time (all components). */
+    void addTotal(u64 ns)
+    {
+        _totalNs += ns;
+        ++_sampledCycles;
+    }
+
+    /**
+     * Every kTraceEmitSamples measured cycles, emit one counter sample
+     * per active component into @p sink (category "host", tracks named
+     * "host/<component>", value = microseconds spent since the last
+     * emission). Lets Perfetto line host-time up under the simulated
+     * timeline.
+     */
+    void emitCountersMaybe(TraceSink &sink, Cycle cycle);
+
+    // ---- results ---------------------------------------------------
+
+    struct Component
+    {
+        std::string name;
+        u64 ns = 0;    ///< host time attributed (measured cycles only)
+        u64 calls = 0; ///< number of measured intervals
+    };
+
+    /** Total measured step-loop time (ns) across sampled cycles. */
+    u64 totalNs() const { return _totalNs; }
+
+    /** Cycles that were individually timed. */
+    u64 sampledCycles() const { return _sampledCycles; }
+
+    /** Cycles seen (measured or not) across all attached simulators. */
+    u64 seenCycles() const { return _cycles; }
+
+    /** All components in registration order. */
+    const std::vector<Component> &components() const
+    {
+        return _components;
+    }
+
+    /** The @p n components with the most attributed time, descending. */
+    std::vector<Component> top(std::size_t n) const;
+
+    /** Fraction of measured step-loop time in component @p c. */
+    double share(const Component &c) const
+    {
+        return _totalNs ? static_cast<double>(c.ns) / _totalNs : 0.0;
+    }
+
+    /**
+     * One cumulative cycles/sec heartbeat sample: @p cycles cycles had
+     * been stepped @p wallNs after profiler construction. The series
+     * is windowed: when it outgrows kMaxHeartbeatPoints the window
+     * doubles and every other point is dropped, so memory stays
+     * bounded on arbitrarily long runs.
+     */
+    struct HeartbeatPoint
+    {
+        u64 cycles = 0;
+        u64 wallNs = 0;
+    };
+
+    const std::vector<HeartbeatPoint> &heartbeat() const
+    {
+        return _heartbeat;
+    }
+
+    Cycle heartbeatPeriod() const { return _hbMask + 1; }
+
+    /** Ranked per-component table, analogous to the stall report. */
+    void writeReport(std::ostream &os, std::size_t top_n = 10) const;
+
+    /** The "host_profile" JSON object embedded in --perf-json output. */
+    void writeJson(std::ostream &os) const;
+
+    static constexpr std::size_t kMaxHeartbeatPoints = 512;
+    static constexpr u64 kTraceEmitSamples = 64;
+
+  private:
+    Mode _mode;
+    u32 _period;
+    u32 _sinceSample = 0;
+    Cycle _hbMask;
+    u64 _cycles = 0;
+    u64 _sampledCycles = 0;
+    u64 _totalNs = 0;
+    u64 _startNs;
+    u64 _samplesSinceEmit = 0;
+    u32 _commitId = 0;
+    std::vector<Component> _components;
+    std::map<std::string, u32> _byName;
+    std::vector<u64> _emittedNs; ///< per-component ns at last emission
+    std::vector<HeartbeatPoint> _heartbeat;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PERF_HOST_PROFILER_H

@@ -3,11 +3,34 @@
 #include <iostream>
 
 #include "base/log.h"
+#include "perf/host_clock.h"
+#include "perf/host_profiler.h"
 #include "trace/stall.h"
 #include "trace/trace.h"
 
 namespace beethoven
 {
+
+namespace
+{
+
+// Process-wide KPI counters (see globalSimCycles in simulator.h).
+u64 g_simCycles = 0;
+u64 g_moduleTicks = 0;
+
+} // namespace
+
+u64
+globalSimCycles()
+{
+    return g_simCycles;
+}
+
+u64
+globalModuleTicks()
+{
+    return g_moduleTicks;
+}
 
 Module::Module(Simulator &sim, std::string name)
     : _sim(sim), _name(std::move(name))
@@ -16,13 +39,57 @@ Module::Module(Simulator &sim, std::string name)
 }
 
 void
-Simulator::step()
+Simulator::stepPhasesProfiled()
 {
-    for (Module *m : _modules)
-        m->tick();
+    HostProfiler &hp = *_hostProf;
+    if (!hp.onCycle()) {
+        // Unmeasured cycle (sampling miss or KPI-only mode): the same
+        // phases as the plain path, no clock reads.
+        for (Module *m : _modules)
+            m->tick();
+        for (Committable *c : _commits)
+            c->commit();
+        return;
+    }
+    // Modules registered since attach (or since last growth) get
+    // their component ids on first measured cycle.
+    for (std::size_t i = _profIds.size(); i < _modules.size(); ++i)
+        _profIds.push_back(hp.componentId(_modules[i]->name()));
+
+    // One clock read per module: each tick is the interval between
+    // consecutive reads, so per-component times are disjoint slices
+    // of the measured total and their sum cannot exceed it.
+    const u64 t_start = hostNowNs();
+    u64 t_prev = t_start;
+    for (std::size_t i = 0; i < _modules.size(); ++i) {
+        _modules[i]->tick();
+        const u64 t_now = hostNowNs();
+        hp.add(_profIds[i], t_now - t_prev);
+        t_prev = t_now;
+    }
     for (Committable *c : _commits)
         c->commit();
+    const u64 t_end = hostNowNs();
+    hp.add(hp.commitComponentId(), t_end - t_prev);
+    hp.addTotal(t_end - t_start);
+    if (_trace != nullptr)
+        hp.emitCountersMaybe(*_trace, _cycle);
+}
+
+void
+Simulator::step()
+{
+    if (_hostProf != nullptr) {
+        stepPhasesProfiled();
+    } else {
+        for (Module *m : _modules)
+            m->tick();
+        for (Committable *c : _commits)
+            c->commit();
+    }
     ++_cycle;
+    ++g_simCycles;
+    g_moduleTicks += _modules.size();
     if (_trace != nullptr && !_stallAccounts.empty() &&
         _cycle % kStallEmitPeriod == 0) {
         for (StallAccount *a : _stallAccounts)

@@ -19,6 +19,17 @@ namespace beethoven
 
 class TraceSink;
 class StallAccount;
+class HostProfiler;
+
+/**
+ * Simulated cycles stepped by every Simulator in this process since
+ * start; the numerator of the cycles-per-second KPI (--perf-json).
+ * Plain counters, not atomics: simulation is single-threaded.
+ */
+u64 globalSimCycles();
+
+/** Module ticks executed process-wide (cycles weighted by SoC size). */
+u64 globalModuleTicks();
 
 /**
  * A live correctness invariant checked while the simulation runs.
@@ -171,15 +182,36 @@ class Simulator
     TraceSink *trace() const { return _trace; }
     void attachTrace(TraceSink *sink) { _trace = sink; }
 
+    /**
+     * Attached host profiler, or nullptr (the default). When attached,
+     * step() routes through a profiled path that attributes wall-clock
+     * time per module (per the profiler's sampling mode) and drives
+     * the cycles/sec heartbeat; when null, the only cost is one
+     * pointer check per step. Not owned; must outlive its attachment.
+     * Detaching (nullptr) is allowed between runs.
+     */
+    HostProfiler *hostProfiler() const { return _hostProf; }
+    void attachHostProfiler(HostProfiler *prof)
+    {
+        _hostProf = prof;
+        _profIds.clear();
+    }
+
     std::size_t numModules() const { return _modules.size(); }
 
   private:
+    /** Tick+commit with per-phase host-time attribution. */
+    void stepPhasesProfiled();
+
     Cycle _cycle = 0;
     std::vector<Module *> _modules;
     std::vector<Committable *> _commits;
     std::vector<StallAccount *> _stallAccounts;
     StatGroup _stats{"soc"};
     TraceSink *_trace = nullptr;
+    HostProfiler *_hostProf = nullptr;
+    /** Module index -> profiler component id (built lazily on use). */
+    std::vector<u32> _profIds;
 
     Cycle _watchdogLimit = 0; ///< 0 = watchdog off
     Cycle _lastProgress = 0;

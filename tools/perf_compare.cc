@@ -1,0 +1,113 @@
+/**
+ * @file
+ * perf_compare — the perf-trajectory regression gate (DESIGN.md §4e).
+ *
+ * Diffs two BENCH_<label>.json files written by soc_perf: every bench
+ * in the baseline must hold its cycles/sec within a relative
+ * tolerance in the candidate. Elaboration-only benches (zero
+ * simulated cycles) are judged on wall time, and only above a noise
+ * floor. A bench missing from the candidate counts as a regression
+ * (the trajectory lost coverage).
+ *
+ * Usage:
+ *   perf_compare [--tolerance=PCT] [--wall-floor-ms=N]
+ *                BASELINE.json CANDIDATE.json
+ *
+ * Exit codes: 0 within tolerance, 2 regression detected, 3 usage
+ * error or malformed/unreadable input — so a CI gate can distinguish
+ * "slower" from "broken harness".
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/json.h"
+#include "base/log.h"
+#include "perf/compare.h"
+
+using namespace beethoven;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: perf_compare [--tolerance=PCT] [--wall-floor-ms=N] "
+          "BASELINE.json CANDIDATE.json\n"
+          "\n"
+          "  --tolerance=PCT     allowed relative slowdown in percent "
+          "(default 10)\n"
+          "  --wall-floor-ms=N   ignore wall-time noise below N ms for "
+          "non-simulating benches (default 100)\n";
+}
+
+BenchSuite
+loadSuite(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot read %s", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseBenchSuite(parseJson(ss.str()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompareOptions opt;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--tolerance=", 0) == 0) {
+            char *end = nullptr;
+            const double pct =
+                std::strtod(arg.c_str() + 12, &end);
+            if (end == nullptr || *end != '\0' || pct < 0.0) {
+                std::cerr << "perf_compare: bad --tolerance value\n";
+                return 3;
+            }
+            opt.tolerance = pct / 100.0;
+        } else if (arg.rfind("--wall-floor-ms=", 0) == 0) {
+            opt.wallFloorMs = std::strtod(arg.c_str() + 16, nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "perf_compare: unknown argument '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return 3;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        usage(std::cerr);
+        return 3;
+    }
+
+    try {
+        const BenchSuite base = loadSuite(files[0]);
+        const BenchSuite cand = loadSuite(files[1]);
+        std::cout << "baseline:  " << files[0] << " (label \""
+                  << base.label << "\", " << base.benches.size()
+                  << " benches)\n"
+                  << "candidate: " << files[1] << " (label \""
+                  << cand.label << "\", " << cand.benches.size()
+                  << " benches)\n";
+        const CompareResult result = compareSuites(base, cand, opt);
+        writeCompareTable(std::cout, result, opt);
+        return result.regressed() ? 2 : 0;
+    } catch (const ConfigError &e) {
+        std::cerr << "perf_compare: " << e.what() << "\n";
+        return 3;
+    }
+}

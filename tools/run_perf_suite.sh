@@ -1,0 +1,67 @@
+#!/bin/sh
+# Measure the full benchmark suite and diff it against the newest
+# committed trajectory file. Intended workflow:
+#
+#   tools/run_perf_suite.sh                 # quick suite, 3 runs
+#   tools/run_perf_suite.sh --label=mybox   # name the output file
+#   tools/run_perf_suite.sh --full --runs=5 # paper-scale inputs
+#
+# Builds the "release" preset (perf numbers from an un-sanitized -O3
+# tree), runs tools/soc_perf over all ten benches, writes
+# perf/BENCH_<label>.json, then runs tools/perf_compare against the
+# lexicographically newest perf/BENCH_*.json already tracked by git.
+# Exit code is perf_compare's verdict (0 ok, 2 regression) so the
+# script can gate a local pre-push hook; with no committed baseline it
+# measures, reports, and exits 0.
+#
+# Absolute cycles/sec are machine-scoped: only compare files produced
+# on the same machine, and commit at most one BENCH_<label>.json per
+# measured commit (see README "Performance trajectory").
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+label=$(cd "$repo_root" && git rev-parse --short HEAD 2>/dev/null || echo local)
+runs=3
+quick=--quick
+tolerance=30
+
+for arg in "$@"; do
+    case "$arg" in
+        --label=*) label=${arg#--label=} ;;
+        --runs=*) runs=${arg#--runs=} ;;
+        --tolerance=*) tolerance=${arg#--tolerance=} ;;
+        --full) quick= ;;
+        --help|-h)
+            sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *)
+            echo "run_perf_suite: unknown option '$arg' (try --help)" >&2
+            exit 2 ;;
+    esac
+done
+
+build_dir=$repo_root/build-release
+echo "run_perf_suite: building release preset"
+cmake --preset release -S "$repo_root" >/dev/null
+cmake --build --preset release >/dev/null
+
+mkdir -p "$repo_root/perf"
+out=$repo_root/perf/BENCH_$label.json
+echo "run_perf_suite: measuring suite ($runs runs${quick:+, quick}) -> $out"
+# shellcheck disable=SC2086
+"$build_dir/tools/soc_perf" $quick --runs="$runs" --label="$label" \
+    --bench-dir="$build_dir/bench" --out="$out"
+
+# Newest committed baseline, excluding the file we just wrote.
+baseline=$(cd "$repo_root" && git ls-files 'perf/BENCH_*.json' \
+    | grep -v -F "perf/BENCH_$label.json" | sort | tail -n 1 || true)
+if [ -z "$baseline" ]; then
+    echo "run_perf_suite: no committed perf/BENCH_*.json baseline;" \
+         "nothing to compare against"
+    exit 0
+fi
+
+echo "run_perf_suite: comparing against $baseline" \
+     "(tolerance ${tolerance}%)"
+"$build_dir/tools/perf_compare" --tolerance="$tolerance" \
+    "$repo_root/$baseline" "$out"

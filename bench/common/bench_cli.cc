@@ -12,6 +12,7 @@
 #include "perf/host_clock.h"
 #include "perf/host_profiler.h"
 #include "perf/kpi.h"
+#include "power/power.h"
 #include "sim/simulator.h"
 #include "trace/bottleneck.h"
 #include "verify/invariants.h"
@@ -76,6 +77,16 @@ BenchCli::BenchCli(int &argc, char **argv)
             _stallReportPath = arg + 15;
         } else if (std::strncmp(arg, "--perf-json=", 12) == 0) {
             _perfPath = arg + 12;
+        } else if (std::strncmp(arg, "--power-trace=", 14) == 0) {
+            _powerTracePath = arg + 14;
+        } else if (std::strncmp(arg, "--power-json=", 13) == 0) {
+            _powerJsonPath = arg + 13;
+        } else if (std::strncmp(arg, "--power-window=", 15) == 0) {
+            _powerWindow = std::strtoull(arg + 15, nullptr, 10);
+            if (_powerWindow == 0) {
+                std::cerr << "bad --power-window (expected N >= 1)\n";
+                std::exit(2);
+            }
         } else if (std::strcmp(arg, "--host-profile") == 0) {
             host_profile = true;
         } else if (std::strncmp(arg, "--host-profile=", 15) == 0) {
@@ -120,9 +131,18 @@ BenchCli::BenchCli(int &argc, char **argv)
     probe(_statsPath, "stats");
     probe(_stallReportPath, "stall report");
     probe(_perfPath, "perf json");
+    probe(_powerTracePath, "power trace");
+    probe(_powerJsonPath, "power json");
 
     if (!_tracePath.empty())
         _sink = std::make_unique<TraceSink>();
+    if (!_powerTracePath.empty() || !_powerJsonPath.empty()) {
+        _powerMeter = std::make_unique<PowerMeter>(_powerWindow);
+        if (!_powerTracePath.empty()) {
+            _powerSink = std::make_unique<TraceSink>();
+            _powerMeter->attachTrace(_powerSink.get());
+        }
+    }
 }
 
 BenchCli::~BenchCli() = default;
@@ -140,6 +160,8 @@ BenchCli::instrument(Simulator &sim) const
     armWatchdog(sim);
     if (_profiler != nullptr)
         sim.attachHostProfiler(_profiler.get());
+    if (_powerMeter != nullptr)
+        sim.attachPowerMeter(_powerMeter.get());
 }
 
 std::unique_ptr<SocInvariants>
@@ -163,8 +185,27 @@ BenchCli::recordStats(const std::string &label, const StatGroup &stats)
 void
 BenchCli::recordStats(const std::string &label, Simulator &sim)
 {
+    recordStats(label, sim, 0.0);
+}
+
+void
+BenchCli::recordStats(const std::string &label, Simulator &sim,
+                      double ops)
+{
+    // The power snapshot must happen regardless of whether a stats
+    // path was given: --power-json alone is a valid invocation.
+    if (_powerMeter != nullptr)
+        _powerMeter->recordRun(sim, label, ops);
     sim.publishStallStats();
     recordStats(label, sim.stats());
+}
+
+void
+BenchCli::addPowerReference(const std::string &label, double watts,
+                            double ops_per_sec)
+{
+    if (_powerMeter != nullptr)
+        _powerMeter->addReference(label, watts, ops_per_sec);
 }
 
 std::string
@@ -225,6 +266,28 @@ BenchCli::finish()
             writePerfJson(f, _benchName, _quick,
                           hostNowNs() - _startNs, globalSimCycles(),
                           globalModuleTicks(), _profiler.get());
+        }
+    }
+    if (!_powerTracePath.empty() && _powerSink != nullptr) {
+        std::ofstream f(_powerTracePath);
+        if (!f) {
+            std::cerr << "cannot open power trace file "
+                      << _powerTracePath << "\n";
+            rc = 1;
+        } else {
+            _powerSink->writeChromeTrace(f);
+            std::cerr << "wrote " << _powerSink->numEvents()
+                      << " power samples to " << _powerTracePath << "\n";
+        }
+    }
+    if (!_powerJsonPath.empty() && _powerMeter != nullptr) {
+        std::ofstream f(_powerJsonPath);
+        if (!f) {
+            std::cerr << "cannot open power json file " << _powerJsonPath
+                      << "\n";
+            rc = 1;
+        } else {
+            writePowerReportJson(f, _powerMeter->report());
         }
     }
     if (_profiler != nullptr &&

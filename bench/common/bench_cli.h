@@ -23,6 +23,17 @@
  *                       every Nth cycle; bare --host-profile means
  *                       sample:64). Breakdown prints to stderr and
  *                       lands in --perf-json output
+ *   --power-trace=FILE  Chrome trace of windowed per-component watt
+ *                       counter-tracks ("power/<component>"), sampled
+ *                       from the SoC's PowerLedger
+ *   --power-json=FILE   power/energy telemetry (schema
+ *                       beethoven-power-1): per recorded run the total
+ *                       joules, avg/peak watts, static floor, per-SLR
+ *                       and per-component breakdown, and — when the
+ *                       bench reports an operation count — energy per
+ *                       op. tools/power_report renders these files
+ *   --power-window=N    cycles between power samples (default 1024;
+ *                       the --power-trace overhead knob)
  *   --watchdog=N        arm the simulator hang watchdog (abort after N
  *                       cycles without forward progress; 0 = off)
  *   --no-invariants     detach the live SocInvariants observers (AXI
@@ -57,6 +68,7 @@ namespace beethoven
 
 class AcceleratorSoc;
 class HostProfiler;
+class PowerMeter;
 class Simulator;
 class SocInvariants;
 
@@ -89,6 +101,9 @@ class BenchCli
     /** The host profiler, or nullptr when neither perf flag was given. */
     HostProfiler *profiler() const { return _profiler.get(); }
 
+    /** The power meter, or nullptr when neither power flag was given. */
+    PowerMeter *powerMeter() const { return _powerMeter.get(); }
+
     bool invariantsEnabled() const { return _invariants; }
 
     /**
@@ -114,6 +129,21 @@ class BenchCli
     void recordStats(const std::string &label, Simulator &sim);
 
     /**
+     * Like recordStats(label, sim), but also tells the power meter how
+     * many operations the run performed, so --power-json output gets
+     * an energy-per-op figure for this run.
+     */
+    void recordStats(const std::string &label, Simulator &sim,
+                     double ops);
+
+    /**
+     * Add an analytic reference row (published watts + throughput) to
+     * the --power-json report; no-op when no power flag was given.
+     */
+    void addPowerReference(const std::string &label, double watts,
+                           double ops_per_sec);
+
+    /**
      * Write the trace, stats and stall-report files (if requested) and
      * print the trace summary + cycle profile. @return process exit
      * code.
@@ -128,12 +158,17 @@ class BenchCli
     std::string _statsPath;
     std::string _stallReportPath;
     std::string _perfPath;
+    std::string _powerTracePath;
+    std::string _powerJsonPath;
+    u64 _powerWindow = 1024;
     bool _quick = false;
     bool _invariants = true;
     u64 _watchdog = 0;
     u64 _startNs = 0;
     std::unique_ptr<TraceSink> _sink;
+    std::unique_ptr<TraceSink> _powerSink; ///< --power-trace events
     std::unique_ptr<HostProfiler> _profiler;
+    std::unique_ptr<PowerMeter> _powerMeter;
     std::vector<std::pair<std::string, std::string>> _statsJson;
 };
 

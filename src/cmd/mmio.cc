@@ -103,6 +103,7 @@ MmioCommandSystem::tick()
         beat.rs1 = u64(_stage[1]) | (u64(_stage[2]) << 32);
         beat.rs2 = u64(_stage[3]) | (u64(_stage[4]) << 32);
         _cmdOut.push(beat);
+        ++_transactions;
         if (_cmdObserver)
             _cmdObserver(beat);
         // First beat of a command opens its latency window; later
@@ -117,6 +118,7 @@ MmioCommandSystem::tick()
         did = true;
         _respReg = _respIn.pop();
         _respHeld = true;
+        ++_transactions;
         _respReadIdx = 0;
         if (_respObserver)
             _respObserver(_respReg);

@@ -83,6 +83,9 @@ class MmioCommandSystem : public Module
         _respObserver = std::move(fn);
     }
 
+    /** Cumulative command beats submitted + responses drained. */
+    u64 transactions() const { return _transactions; }
+
   private:
     TimedQueue<RoccCommand> _cmdOut;
     TimedQueue<RoccResponse> _respIn;
@@ -103,6 +106,7 @@ class MmioCommandSystem : public Module
      * cmdLatency histogram.
      */
     std::map<u64, Cycle> _cmdStart;
+    u64 _transactions = 0;
     StatHistogram *_cmdLatency;
     StallAccount _stall;
 

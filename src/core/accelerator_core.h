@@ -75,6 +75,14 @@ class AcceleratorCore : public Module
     u32 systemId() const { return _ctx.systemId; }
     u32 coreIdx() const { return _ctx.coreIdx; }
 
+    /**
+     * Cycles this core classified as Busy via accountCycle. Busy is
+     * counted incrementally (only Idle is lazily backfilled), so this
+     * is an accurate cumulative activity count mid-run — the power
+     * ledger's per-core dynamic-energy source.
+     */
+    u64 busyCycles() const { return _stall.count(StallClass::Busy); }
+
   protected:
     /** Fig. 2: getReaderModule("vec_in") — returns the Reader whose
      *  cmdPort/dataPort the core drives. */

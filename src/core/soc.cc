@@ -6,6 +6,7 @@
 #include "core/elab_params.h"
 #include "lint/lint.h"
 #include "mem/resource_model.h"
+#include "power/power.h"
 #include "trace/trace.h"
 
 namespace beethoven
@@ -128,6 +129,7 @@ AcceleratorSoc::AcceleratorSoc(AcceleratorConfig config,
     registerHangDumpers();
     accountInterconnect();
     checkFit();
+    buildPowerLedger();
 }
 
 std::size_t
@@ -204,6 +206,163 @@ AcceleratorSoc::buildTraceProbe()
 }
 
 AcceleratorSoc::~AcceleratorSoc() = default;
+
+double
+AcceleratorSoc::nocFlits() const
+{
+    double f = 0.0;
+    if (_arTree)
+        f += _arTree->flits();
+    if (_rTree)
+        f += _rTree->flits();
+    if (_wTree)
+        f += _wTree->flits();
+    if (_bTree)
+        f += _bTree->flits();
+    if (_cmdTree)
+        f += _cmdTree->flits();
+    if (_respTree)
+        f += _respTree->flits();
+    return f;
+}
+
+PowerLedger &
+AcceleratorSoc::power()
+{
+    return *_power;
+}
+
+void
+AcceleratorSoc::buildPowerLedger()
+{
+    const PowerModel pm = _platform.powerModel();
+    _power = std::make_unique<PowerLedger>(
+        _platform.clockMHz(),
+        static_cast<unsigned>(_floorplan->numSlrs()));
+
+    // Flattened (system, core) offsets — the same order _contexts,
+    // _cores and placedCores() were filled in.
+    std::vector<std::size_t> sys_offsets(_config.systems.size(), 0);
+    {
+        std::size_t flat = 0;
+        for (std::size_t s = 0; s < _config.systems.size(); ++s) {
+            sys_offsets[s] = flat;
+            flat += _config.systems[s].nCores;
+        }
+    }
+
+    // Attribute every mapped on-chip memory to its owning core so a
+    // core's static share covers its logic *and* its memory blocks —
+    // together with the interconnect/shell/baseline components below,
+    // the static floor reproduces watts(totalUsed + totalShell).
+    std::vector<ResourceVec> mem_res(_contexts.size());
+    for (const MemoryMappingRecord &m : _memoryMappings) {
+        const std::size_t flat =
+            sys_offsets[_systemIds.at(m.system)] + m.core;
+        mem_res[flat] += m.mapping.resources;
+    }
+
+    const auto &placed = _floorplan->placedCores();
+    const double data_bytes = static_cast<double>(_bus.dataBytes);
+    for (std::size_t flat = 0; flat < _contexts.size(); ++flat) {
+        const CoreContext &ctx = _contexts[flat];
+        const AcceleratorCore *core = _cores[flat].get();
+        std::vector<const Scratchpad *> spads;
+        for (const auto &kv : ctx.scratchpads)
+            spads.push_back(kv.second);
+        std::vector<const Reader *> readers;
+        for (const auto &kv : ctx.readers)
+            for (const Reader *r : kv.second)
+                if (r != nullptr)
+                    readers.push_back(r);
+        std::vector<const Writer *> writers;
+        for (const auto &kv : ctx.writers)
+            for (const Writer *w : kv.second)
+                if (w != nullptr)
+                    writers.push_back(w);
+        const double core_op_pj = pm.coreOpPj;
+        const double spad_pj = pm.spadAccessPj;
+        // Reader/Writer stream buffers are charged at the scratchpad
+        // access rate per bus-width word moved; their DRAM and NoC
+        // sides are covered by the ddr / noc components.
+        _power->add(
+            ctx.name, placed[flat].slr,
+            pm.dynamicResourceWatts(placed[flat].resources +
+                                    mem_res[flat]),
+            [core, spads, readers, writers, core_op_pj, spad_pj,
+             data_bytes]() {
+                double pj =
+                    static_cast<double>(core->busyCycles()) * core_op_pj;
+                for (const Scratchpad *sp : spads)
+                    pj += static_cast<double>(sp->accesses()) * spad_pj;
+                for (const Reader *r : readers)
+                    pj += r->bytesRead() / data_bytes * spad_pj;
+                for (const Writer *w : writers)
+                    pj += w->bytesWritten() / data_bytes * spad_pj;
+                return pj;
+            });
+    }
+
+    {
+        const DramController *dram = _dram.get();
+        const double col_pj = pm.dramColumnPj;
+        const double act_pj = pm.dramActivatePj;
+        _power->add("ddr", _platform.memorySlr(), 0.0,
+                    [dram, col_pj, act_pj]() {
+                        return dram->columnOps() * col_pj +
+                               (dram->activates() + dram->refreshes()) *
+                                   act_pj;
+                    });
+    }
+
+    // Interconnect, split per SLR with the same core-proportional
+    // fractions accountInterconnect used for the resource charge.
+    std::vector<double> cores_per_slr(_floorplan->numSlrs(), 0.0);
+    double n = 0.0;
+    for (const auto &per_sys : _coreSlr) {
+        for (unsigned slr : per_sys) {
+            cores_per_slr[slr] += 1.0;
+            n += 1.0;
+        }
+    }
+    const double noc_static =
+        pm.dynamicResourceWatts(_interconnectResources);
+    const double flit_pj = pm.nocFlitHopPj;
+    for (std::size_t slr = 0; slr < cores_per_slr.size(); ++slr) {
+        if (n <= 0.0 || cores_per_slr[slr] <= 0.0)
+            continue;
+        const double frac = cores_per_slr[slr] / n;
+        _power->add("noc.slr" + std::to_string(slr),
+                    static_cast<unsigned>(slr), noc_static * frac,
+                    [this, frac, flit_pj]() {
+                        return nocFlits() * flit_pj * frac;
+                    });
+    }
+
+    // MMIO front-end: its logic is already inside the interconnect
+    // static share, so this component is pure event energy.
+    {
+        const MmioCommandSystem *mmio = _mmio.get();
+        const double txn_pj = pm.mmioTxnPj;
+        _power->add("mmio", _platform.hostSlr(), 0.0,
+                    [mmio, txn_pj]() {
+                        return static_cast<double>(mmio->transactions()) *
+                               txn_pj;
+                    });
+    }
+
+    for (unsigned s = 0; s < _floorplan->numSlrs(); ++s) {
+        const double w =
+            pm.dynamicResourceWatts(_floorplan->slr(s).shellFootprint);
+        if (w > 0.0)
+            _power->add("shell.slr" + std::to_string(s), s, w,
+                        []() { return 0.0; });
+    }
+    _power->add("static", _platform.hostSlr(), pm.staticWatts,
+                []() { return 0.0; });
+
+    _sim.setPowerLedger(_power.get());
+}
 
 void
 AcceleratorSoc::validate()

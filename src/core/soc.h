@@ -44,6 +44,7 @@ namespace beethoven
 {
 
 class TraceProbe;
+class PowerLedger;
 
 /** Where one logical on-chip memory ended up (Table II evidence). */
 struct MemoryMappingRecord
@@ -116,6 +117,17 @@ class AcceleratorSoc
     /** Total flits currently buffered in all memory-fabric NoC trees. */
     std::size_t nocOccupancy() const;
 
+    /** Cumulative node-hops forwarded through every fabric tree. */
+    double nocFlits() const;
+
+    /**
+     * Energy decomposition of this SoC (built last in elaboration and
+     * registered with the simulator). Per-core, DRAM, per-SLR NoC,
+     * MMIO, shell and static-baseline components whose energies sum
+     * exactly to the SoC total (DESIGN.md §4f).
+     */
+    PowerLedger &power();
+
   private:
     struct SystemInstance;
 
@@ -131,6 +143,7 @@ class AcceleratorSoc
     void checkFit() const;
     void buildTraceProbe();
     void registerHangDumpers();
+    void buildPowerLedger();
 
     AcceleratorConfig _config;
     const Platform &_platform;
@@ -160,6 +173,9 @@ class AcceleratorSoc
 
     /** Feeds an attached TraceSink with NoC occupancy; inert otherwise. */
     std::unique_ptr<TraceProbe> _nocProbe;
+
+    /** Energy decomposition (built after checkFit; see power()). */
+    std::unique_ptr<PowerLedger> _power;
 
     // Owned hardware, in construction order.
     std::vector<std::unique_ptr<Reader>> _readers;

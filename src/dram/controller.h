@@ -82,6 +82,19 @@ class DramController : public Module
     /** Total data beats moved (reads + writes), for utilization stats. */
     u64 beatsServed() const { return _beatsServed; }
 
+    /** Cumulative column commands issued (reads + writes). */
+    double
+    columnOps() const
+    {
+        return _statColReads->value() + _statColWrites->value();
+    }
+
+    /** Cumulative row activates (row misses open a row). */
+    double activates() const { return _statRowMisses->value(); }
+
+    /** Cumulative refresh windows entered. */
+    double refreshes() const { return _statRefreshes->value(); }
+
     /** Dump all in-flight transactions (for hang diagnostics). */
     void dumpInFlight(std::ostream &os) const;
 

@@ -52,6 +52,8 @@ diagnosticRegistry()
         {"BTH012", "config", Severity::Error,
          "generated-binding collision (duplicate or invalid command "
          "name)"},
+        {"BTH013", "config", Severity::Warning,
+         "platform power model is the uncalibrated default"},
         // --- memory layer ------------------------------------------
         {"BTH020", "memory", Severity::Error,
          "channel width not convertible to the DRAM bus width"},

@@ -233,6 +233,22 @@ ruleBindgenCollisions(const CompositionModel &m, DiagnosticReport &rep)
     }
 }
 
+void
+rulePowerModelCalibration(const CompositionModel &m,
+                          DiagnosticReport &rep)
+{
+    if (m.platform == nullptr)
+        return;
+    if (m.platform->powerModel().calibrated)
+        return;
+    rep.add("BTH013", "platform." + m.platform->name(),
+            "platform power model is the uncalibrated default: power "
+            "and energy telemetry will use generic coefficients")
+        .note = "override Platform::powerModel() with calibrated "
+                "static rates and per-event energies, and set "
+                "PowerModel::calibrated";
+}
+
 } // namespace
 
 const std::vector<LintRuleEntry> &
@@ -244,6 +260,7 @@ configLintRules()
         {"channel-declarations", "config", ruleChannelDeclarations},
         {"intra-core-wiring", "config", ruleIntraCoreWiring},
         {"bindgen-collisions", "config", ruleBindgenCollisions},
+        {"power-model-calibration", "config", rulePowerModelCalibration},
     };
     return rules;
 }

@@ -67,6 +67,9 @@ class Reader : public Module
     /** Number of AXI IDs this reader occupies. */
     u32 numIds() const { return _params.useTlp ? _params.maxInflight : 1; }
 
+    /** Cumulative stream bytes delivered to the core. */
+    double bytesRead() const { return _statBytesRead->value(); }
+
     void tick() override;
 
   private:

@@ -134,6 +134,7 @@ Scratchpad::tick()
         if (req.write) {
             SpadRequest w = req_q.pop();
             poke(w.row, w.data);
+            ++_accesses;
             did = true;
         } else if (resp_q.canPush()) {
             SpadRequest r = req_q.pop();
@@ -141,6 +142,7 @@ Scratchpad::tick()
             resp.row = r.row;
             resp.data = peek(r.row);
             resp_q.push(std::move(resp));
+            ++_accesses;
             did = true;
         } else {
             read_blocked = true;
@@ -154,6 +156,7 @@ Scratchpad::tick()
             beethoven_assert(w.write,
                              "read request on intra-core write port");
             poke(w.row, w.data);
+            ++_accesses;
             did = true;
         }
     }
@@ -203,6 +206,7 @@ Scratchpad::serveInit()
     if (_initActive && _initReader->dataPort().canPop()) {
         StreamWord w = _initReader->dataPort().pop();
         poke(_initRow, w.data);
+        ++_accesses;
         ++_initRow;
         --_initRowsLeft;
         did = true;

@@ -95,6 +95,13 @@ class Scratchpad : public Module
 
     const ScratchpadParams &params() const { return _params; }
 
+    /**
+     * Cumulative timed row accesses (port reads/writes, intra-core
+     * writes, init-row fills). Functional peek/poke are not counted —
+     * they model host/test access, not switching activity.
+     */
+    u64 accesses() const { return _accesses; }
+
     void tick() override;
 
   private:
@@ -115,6 +122,7 @@ class Scratchpad : public Module
     bool _initActive = false;
     u32 _initRow = 0;
     u32 _initRowsLeft = 0;
+    u64 _accesses = 0;
     StallAccount _stall;
 };
 

@@ -55,6 +55,9 @@ class Writer : public Module
     const WriterParams &params() const { return _params; }
     u32 numIds() const { return _params.useTlp ? _params.maxInflight : 1; }
 
+    /** Cumulative stream bytes accepted from the core. */
+    double bytesWritten() const { return _statBytesWritten->value(); }
+
     void tick() override;
 
   private:

@@ -291,6 +291,9 @@ class MuxTree
         return *_endpointQueues[idx];
     }
 
+    /** Cumulative node-hops forwarded through this tree. */
+    double flits() const { return _flits->value(); }
+
     const TreeStats &stats() const { return _stats; }
 
     /** Flits currently buffered in the tree's internal links. */
@@ -435,6 +438,9 @@ class DemuxTree
                          "endpoint index %zu out of range", idx);
         return *_endpointQueues[idx];
     }
+
+    /** Cumulative node-hops forwarded through this tree. */
+    double flits() const { return _flits->value(); }
 
     const TreeStats &stats() const { return _stats; }
 

@@ -58,7 +58,14 @@ writeBenchSuiteJson(std::ostream &os, const BenchSuite &suite)
            << ",\"sim_cycles\":" << b.simCycles
            << ",\"cycles_per_sec\":" << b.cyclesPerSec
            << ",\"peak_rss_kb\":" << b.peakRssKb
-           << ",\"module_ticks\":" << b.moduleTicks << ",\"host_top\":[";
+           << ",\"module_ticks\":" << b.moduleTicks;
+        // Optional, so trajectory files from before the power layer
+        // (e.g. BENCH_seed.json) stay byte-stable and re-parseable.
+        if (b.avgWatts > 0.0)
+            os << ",\"avg_watts\":" << b.avgWatts;
+        if (b.energyPerOpUj > 0.0)
+            os << ",\"energy_per_op_uj\":" << b.energyPerOpUj;
+        os << ",\"host_top\":[";
         bool tfirst = true;
         for (const HostTopEntry &t : b.hostTop) {
             if (!tfirst)
@@ -135,6 +142,12 @@ parseBenchSuite(const JsonValue &v)
         if (const JsonValue *t = b.find("module_ticks");
             t != nullptr && t->isNumber())
             rec.moduleTicks = static_cast<u64>(t->number);
+        if (const JsonValue *w = b.find("avg_watts");
+            w != nullptr && w->isNumber())
+            rec.avgWatts = w->number;
+        if (const JsonValue *e = b.find("energy_per_op_uj");
+            e != nullptr && e->isNumber())
+            rec.energyPerOpUj = e->number;
         if (const JsonValue *ht = b.find("host_top");
             ht != nullptr && ht->isArray()) {
             for (const JsonValue &t : ht->array) {

@@ -46,6 +46,14 @@ struct BenchPerfRecord
     double cyclesPerSec = 0.0;
     u64 peakRssKb = 0;
     u64 moduleTicks = 0;
+    /**
+     * Modeled power summary from the bench's --power-json pass
+     * (DESIGN.md §4f). Informational: perf_compare never derives a
+     * verdict from these. 0 = no power pass ran or the bench recorded
+     * no measured runs / no operation count.
+     */
+    double avgWatts = 0.0;
+    double energyPerOpUj = 0.0;
     std::vector<HostTopEntry> hostTop;
 };
 

@@ -55,6 +55,8 @@ compareSuites(const BenchSuite &base, const BenchSuite &cand,
         }
         d.candCps = c->cyclesPerSec;
         d.candWallMs = c->wallMs;
+        d.baseWatts = b.avgWatts;
+        d.candWatts = c->avgWatts;
         if (b.cyclesPerSec > 0.0) {
             d.deltaPct =
                 100.0 * (c->cyclesPerSec / b.cyclesPerSec - 1.0);
@@ -108,6 +110,19 @@ writeCompareTable(std::ostream &os, const CompareResult &result,
         if (!d.note.empty())
             os << " (" << d.note << ")";
         os << "\n";
+    }
+    // Informational power deltas (never part of the verdict).
+    bool power_header = false;
+    for (const BenchDelta &d : result.deltas) {
+        if (d.baseWatts <= 0.0 && d.candWatts <= 0.0)
+            continue;
+        if (!power_header) {
+            os << "modeled power (informational):\n";
+            power_header = true;
+        }
+        os << "  " << std::left << std::setw(18) << d.name << std::right
+           << std::setprecision(2) << std::setw(8) << d.baseWatts
+           << " W -> " << std::setw(8) << d.candWatts << " W\n";
     }
     os << "tolerance: " << std::setprecision(0) << 100.0 * opt.tolerance
        << "% relative "

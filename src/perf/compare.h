@@ -50,6 +50,13 @@ struct BenchDelta
     double candWallMs = 0.0;
     /** Relative cycles/sec change, candidate vs baseline (+ = faster). */
     double deltaPct = 0.0;
+    /**
+     * Modeled power (watts) from each side's record, when present.
+     * Informational only — never feeds the verdict, since modeled
+     * power legitimately moves with workload and calibration changes.
+     */
+    double baseWatts = 0.0;
+    double candWatts = 0.0;
     BenchVerdict verdict = BenchVerdict::Ok;
     std::string note;
 };

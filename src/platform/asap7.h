@@ -85,6 +85,15 @@ class Asap7Platform : public Platform
         p.staticWatts = 0.1;
         p.lutWatts = 0.4e-6; // per gate-equivalent at 1 GHz
         p.ffWatts = 0.2e-6;
+        // 7 nm standard cells switch roughly an order of magnitude
+        // cheaper than the FPGA fabric equivalents.
+        p.coreOpPj = 0.6;
+        p.spadAccessPj = 0.3;
+        p.dramColumnPj = 18.0; // same DDR4 part as the FPGA targets
+        p.dramActivatePj = 90.0;
+        p.nocFlitHopPj = 0.15;
+        p.mmioTxnPj = 2.0;
+        p.calibrated = true;
         return p;
     }
 };

@@ -85,6 +85,16 @@ class KriaPlatform : public Platform
     {
         PowerModel p;
         p.staticWatts = 0.8;
+        // Same 16 nm fabric as F1 at half the clock; LPDDR4 column
+        // energy is lower than discrete DDR4, and on-die MMIO is
+        // nearly free compared to PCIe transactions.
+        p.coreOpPj = 6.0;
+        p.spadAccessPj = 2.5;
+        p.dramColumnPj = 8.0;
+        p.dramActivatePj = 45.0;
+        p.nocFlitHopPj = 1.2;
+        p.mmioTxnPj = 4.0;
+        p.calibrated = true;
         return p;
     }
 };

@@ -49,7 +49,24 @@ struct SlrDescriptor
     }
 };
 
-/** Resource-based power estimation (calibrated per platform). */
+/**
+ * Resource-based power estimation (calibrated per platform).
+ *
+ * Two layers share one struct. The *static* layer (staticWatts plus
+ * the per-resource watt rates) is the paper's Table III calibration:
+ * watts(design) of the fig8/table2 composition reproduces the ~24 W
+ * design point and every bench prints it unchanged. The *dynamic*
+ * layer adds per-event energy coefficients (picojoules per occurrence)
+ * consumed by src/power/ to turn the activity counters the trace/stall
+ * subsystem already maintains into measured power/energy telemetry.
+ * The coefficients are deliberately small relative to the static
+ * share, so measured energy/op ratios stay shape-preserving against
+ * the static model (DESIGN.md §4f).
+ *
+ * Platforms that override powerModel() set `calibrated`; the default
+ * PowerModel{} is generic and lint code BTH013 warns (non-blocking)
+ * when a composition is elaborated against it.
+ */
 struct PowerModel
 {
     double staticWatts = 2.0;
@@ -58,11 +75,30 @@ struct PowerModel
     double bramWatts = 7e-3;
     double uramWatts = 8e-3;
 
+    /** Dynamic energy per event, picojoules. */
+    double coreOpPj = 6.0;       ///< one busy core cycle
+    double spadAccessPj = 2.5;   ///< one scratchpad row access
+    double dramColumnPj = 18.0;  ///< one DRAM column read/write
+    double dramActivatePj = 90.0;///< one DRAM row activate
+    double nocFlitHopPj = 1.2;   ///< one flit traversing one tree node
+    double mmioTxnPj = 40.0;     ///< one MMIO command or response
+
+    /** True when a platform supplied calibrated numbers. */
+    bool calibrated = false;
+
     double
     watts(const ResourceVec &r) const
     {
         return staticWatts + r.lut * lutWatts + r.ff * ffWatts +
                r.bram * bramWatts + r.uram * uramWatts;
+    }
+
+    /** Resource-proportional watts without the static baseline. */
+    double
+    dynamicResourceWatts(const ResourceVec &r) const
+    {
+        return r.lut * lutWatts + r.ff * ffWatts + r.bram * bramWatts +
+               r.uram * uramWatts;
     }
 };
 

@@ -1,0 +1,169 @@
+#include "power/power.h"
+
+#include <cmath>
+
+#include "base/log.h"
+#include "trace/trace.h"
+
+namespace beethoven
+{
+
+void
+PowerMeter::resetWindow(const PowerLedger *ledger, Cycle cycle)
+{
+    _ledger = ledger;
+    _lastSampleCycle = cycle;
+    _lastJoules.assign(ledger->numComponents(), 0.0);
+    _peakWatts.assign(ledger->numComponents(), 0.0);
+    for (std::size_t i = 0; i < ledger->numComponents(); ++i)
+        _lastJoules[i] = ledger->componentJoules(i, cycle);
+    _lastTotalJoules = ledger->totalJoules(cycle);
+    _peakTotalWatts = 0.0;
+    _runStartCycle = cycle;
+    _runStartJoules = _lastJoules;
+    _runStartTotalJoules = _lastTotalJoules;
+    _report.windowCycles = static_cast<double>(_windowCycles);
+}
+
+void
+PowerMeter::markRunStart(Simulator &sim)
+{
+    const PowerLedger *ledger = sim.powerLedger();
+    if (ledger == nullptr)
+        return;
+    if (ledger != _ledger) {
+        resetWindow(ledger, sim.cycle());
+        return;
+    }
+    const Cycle cycle = sim.cycle();
+    _runStartCycle = cycle;
+    _runStartJoules.resize(ledger->numComponents());
+    for (std::size_t i = 0; i < ledger->numComponents(); ++i)
+        _runStartJoules[i] = ledger->componentJoules(i, cycle);
+    _runStartTotalJoules = ledger->totalJoules(cycle);
+}
+
+void
+PowerMeter::onCycle(Simulator &sim)
+{
+    const PowerLedger *ledger = sim.powerLedger();
+    if (ledger == nullptr)
+        return;
+    if (ledger != _ledger)
+        resetWindow(ledger, sim.cycle());
+    const Cycle cycle = sim.cycle();
+    if (cycle - _lastSampleCycle < _windowCycles)
+        return;
+    const double dt =
+        ledger->seconds(cycle) - ledger->seconds(_lastSampleCycle);
+    if (dt <= 0.0) {
+        _lastSampleCycle = cycle;
+        return;
+    }
+    for (std::size_t i = 0; i < ledger->numComponents(); ++i) {
+        const double j = ledger->componentJoules(i, cycle);
+        const double w = (j - _lastJoules[i]) / dt;
+        _lastJoules[i] = j;
+        if (w > _peakWatts[i])
+            _peakWatts[i] = w;
+        if (_trace != nullptr)
+            _trace->counter("power",
+                            "power/" + ledger->component(i).name, cycle,
+                            w);
+    }
+    const double tj = ledger->totalJoules(cycle);
+    const double tw = (tj - _lastTotalJoules) / dt;
+    _lastTotalJoules = tj;
+    if (tw > _peakTotalWatts)
+        _peakTotalWatts = tw;
+    if (_trace != nullptr)
+        _trace->counter("power", "power/soc", cycle, tw);
+    _lastSampleCycle = cycle;
+}
+
+void
+PowerMeter::recordRun(Simulator &sim, const std::string &label,
+                      double ops)
+{
+    const PowerLedger *ledger = sim.powerLedger();
+    if (ledger == nullptr)
+        return;
+    if (ledger != _ledger)
+        resetWindow(ledger, 0);
+    const Cycle cycle = sim.cycle();
+    const Cycle run_cycles = cycle - _runStartCycle;
+    const double secs =
+        ledger->seconds(cycle) - ledger->seconds(_runStartCycle);
+
+    PowerRunRecord r;
+    r.label = label;
+    r.clockMhz = ledger->clockMhz();
+    r.cycles = static_cast<double>(run_cycles);
+    r.joules = ledger->totalJoules(cycle) - _runStartTotalJoules;
+    r.avgWatts = secs > 0.0 ? r.joules / secs : 0.0;
+    r.staticWatts = ledger->staticWatts();
+    r.ops = ops;
+    r.slrWatts.assign(ledger->numSlrs(), 0.0);
+
+    double peak = _peakTotalWatts;
+    for (std::size_t i = 0; i < ledger->numComponents(); ++i) {
+        const PowerLedger::Component &c = ledger->component(i);
+        PowerComponentRecord cr;
+        cr.name = c.name;
+        cr.slr = c.slr;
+        cr.joules = ledger->componentJoules(i, cycle) -
+                    (i < _runStartJoules.size() ? _runStartJoules[i]
+                                                : 0.0);
+        cr.avgWatts = secs > 0.0 ? cr.joules / secs : 0.0;
+        cr.peakWatts =
+            i < _peakWatts.size() ? _peakWatts[i] : 0.0;
+        if (cr.slr < r.slrWatts.size())
+            r.slrWatts[cr.slr] += cr.avgWatts;
+        r.components.push_back(std::move(cr));
+    }
+    // Before the first full sampling window the tracked peak is still
+    // zero; the run average is the best lower bound available.
+    if (peak < r.avgWatts)
+        peak = r.avgWatts;
+    r.peakWatts = peak;
+    _report.runs.push_back(std::move(r));
+
+    // The next labeled run accounts from here.
+    _runStartCycle = cycle;
+    if (_runStartJoules.size() != ledger->numComponents())
+        _runStartJoules.resize(ledger->numComponents());
+    for (std::size_t i = 0; i < ledger->numComponents(); ++i)
+        _runStartJoules[i] = ledger->componentJoules(i, cycle);
+    _runStartTotalJoules = ledger->totalJoules(cycle);
+}
+
+void
+PowerMeter::addReference(const std::string &label, double watts,
+                         double ops_per_sec)
+{
+    PowerRunRecord r;
+    r.label = label;
+    r.reference = true;
+    r.avgWatts = watts;
+    r.opsPerSec = ops_per_sec;
+    _report.runs.push_back(std::move(r));
+}
+
+void
+EnergyConservationInvariant::check(Cycle cycle)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < _ledger.numComponents(); ++i)
+        sum += _ledger.componentJoules(i, cycle);
+    const double total = _ledger.totalJoules(cycle);
+    const double tol = 1e-6 * std::abs(total) + 1e-9;
+    if (std::abs(total - sum) > tol) {
+        fatal("invariant violation [energy-conservation]: component "
+              "energies sum to %.12g J but the SoC total is %.12g J "
+              "at cycle %llu (delta %.3g J)",
+              sum, total, static_cast<unsigned long long>(cycle),
+              total - sum);
+    }
+}
+
+} // namespace beethoven

@@ -5,6 +5,7 @@
 #include "base/log.h"
 #include "perf/host_clock.h"
 #include "perf/host_profiler.h"
+#include "power/power.h"
 #include "trace/stall.h"
 #include "trace/trace.h"
 
@@ -90,6 +91,8 @@ Simulator::step()
     ++_cycle;
     ++g_simCycles;
     g_moduleTicks += _modules.size();
+    if (_powerMeter != nullptr)
+        _powerMeter->onCycle(*this);
     if (_trace != nullptr && !_stallAccounts.empty() &&
         _cycle % kStallEmitPeriod == 0) {
         for (StallAccount *a : _stallAccounts)

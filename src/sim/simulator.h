@@ -20,6 +20,8 @@ namespace beethoven
 class TraceSink;
 class StallAccount;
 class HostProfiler;
+class PowerLedger;
+class PowerMeter;
 
 /**
  * Simulated cycles stepped by every Simulator in this process since
@@ -197,6 +199,26 @@ class Simulator
         _profIds.clear();
     }
 
+    /**
+     * Energy decomposition of the elaborated SoC, or nullptr. Set by
+     * the SoC after elaboration; read by the attached PowerMeter and
+     * by EnergyConservationInvariant. Not owned.
+     */
+    const PowerLedger *powerLedger() const { return _powerLedger; }
+    void setPowerLedger(const PowerLedger *ledger)
+    {
+        _powerLedger = ledger;
+    }
+
+    /**
+     * Attached power meter, or nullptr (the default). When attached,
+     * step() offers every completed cycle to the meter, which samples
+     * the ledger on its own window; when null, the only cost is one
+     * pointer check per step. Not owned; must outlive its attachment.
+     */
+    PowerMeter *powerMeter() const { return _powerMeter; }
+    void attachPowerMeter(PowerMeter *meter) { _powerMeter = meter; }
+
     std::size_t numModules() const { return _modules.size(); }
 
   private:
@@ -210,6 +232,8 @@ class Simulator
     StatGroup _stats{"soc"};
     TraceSink *_trace = nullptr;
     HostProfiler *_hostProf = nullptr;
+    const PowerLedger *_powerLedger = nullptr;
+    PowerMeter *_powerMeter = nullptr;
     /** Module index -> profiler component id (built lazily on use). */
     std::vector<u32> _profIds;
 

@@ -11,6 +11,7 @@
 #include "base/json.h"
 #include "base/log.h"
 #include "baselines/machsuite_golden.h"
+#include "power/power.h"
 #include "runtime/fpga_handle.h"
 #include "verify/golden.h"
 #include "verify/invariants.h"
@@ -166,6 +167,13 @@ runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
     RuntimeServer server(*soc);
     fpga_handle_t handle(server);
     SocInvariants inv(*soc);
+    // Energy conservation rides along with the protocol invariants:
+    // the periodic check re-sums the ledger's component energies
+    // against the SoC total every kInvariantPeriod cycles.
+    EnergyConservationInvariant energy_inv(soc->power());
+    soc->sim().registerInvariant(&energy_inv);
+    if (c.plantPowerViolation)
+        soc->power().plantEnergyLeak(0.5);
     soc->sim().setWatchdog(opt.watchdogCycles);
 
     auto finalize = [&](FuzzResult r) {
@@ -474,6 +482,8 @@ fuzzCaseToJson(const FuzzCase &c)
        << (c.plantViolation ? "true" : "false") << ",\n";
     os << "  \"plant_lint_violation\": "
        << (c.plantLintViolation ? "true" : "false") << ",\n";
+    os << "  \"plant_power_violation\": "
+       << (c.plantPowerViolation ? "true" : "false") << ",\n";
     const FuzzPlatformKnobs &p = c.platform;
     os << "  \"platform\": {\"n_slrs\": " << p.nSlrs
        << ", \"noc_fanout\": " << p.nocFanout
@@ -528,6 +538,9 @@ fuzzCaseFromJson(const std::string &text)
     // composition linter existed.
     if (const JsonValue *v = root.find("plant_lint_violation"))
         c.plantLintViolation = v->isBool() && v->boolean;
+    // Optional likewise (predates the power ledger).
+    if (const JsonValue *v = root.find("plant_power_violation"))
+        c.plantPowerViolation = v->isBool() && v->boolean;
 
     const JsonValue &p = member(root, "platform");
     c.platform.nSlrs = asUnsigned(p, "n_slrs");

@@ -90,6 +90,10 @@ struct FuzzCase
      *  name, zero cores, no constructor) so the composition linter's
      *  catch path is provable end to end from a replayable case. */
     bool plantLintViolation = false;
+    /** Test-only: plant a phantom energy leak in the SoC's power
+     *  ledger so the energy-conservation invariant's catch path is
+     *  provable end to end from a replayable case. */
+    bool plantPowerViolation = false;
 };
 
 /** The simulation platform reshaped by a FuzzCase's knobs. */

@@ -250,6 +250,27 @@ TEST(LintConfig, Bth012BindingCollision)
     EXPECT_TRUE(lintWith(bad).has("BTH012"));
 }
 
+TEST(Lint, Bth013UncalibratedPowerModel)
+{
+    // A platform that leaves Platform::powerModel() at the base-class
+    // default elaborates with generic power coefficients: warn, never
+    // block.
+    class UncalibratedPlatform : public LintTestPlatform
+    {
+      public:
+        PowerModel powerModel() const override { return PowerModel{}; }
+    };
+    const DiagnosticReport rep =
+        lintWith(baseConfig(), UncalibratedPlatform());
+    EXPECT_TRUE(rep.has("BTH013"));
+    EXPECT_FALSE(rep.hasErrors()) << rep.format();
+    EXPECT_EQ(rep.warningCount(), 1u);
+
+    // Every calibrated platform (including the test/fuzz simulation
+    // platform) stays BTH013-free.
+    EXPECT_FALSE(lintWith(baseConfig()).has("BTH013"));
+}
+
 // --- memory layer: BTH020-BTH023 ---------------------------------------
 
 TEST(LintMemory, Bth020NonConvertibleWidth)

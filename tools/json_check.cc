@@ -58,8 +58,9 @@ checkCategories(const JsonValue &root, const std::string &csv,
         std::fprintf(stderr, "%s: no traceEvents array\n", path.c_str());
         return false;
     }
-    std::set<std::string> seen;        // any event
-    std::set<std::string> seen_spans;  // nonzero-duration spans
+    std::set<std::string> seen;          // any event
+    std::set<std::string> seen_spans;    // nonzero-duration spans
+    std::set<std::string> seen_counters; // "C" (counter) events
     for (const JsonValue &e : events->array) {
         const JsonValue *cat = e.find("cat");
         if (cat == nullptr || !cat->isString())
@@ -70,13 +71,18 @@ checkCategories(const JsonValue &root, const std::string &csv,
         if (ph != nullptr && ph->isString() && ph->string == "X" &&
             dur != nullptr && dur->number > 0)
             seen_spans.insert(cat->string);
+        if (ph != nullptr && ph->isString() && ph->string == "C")
+            seen_counters.insert(cat->string);
     }
     bool ok = true;
+    bool all_counters = true;
     std::stringstream ss(csv);
     std::string want;
     while (std::getline(ss, want, ',')) {
         if (want.empty())
             continue;
+        if (!seen_counters.count(want))
+            all_counters = false;
         if (seen_spans.count(want))
             continue;
         if (seen.count(want)) {
@@ -88,7 +94,10 @@ checkCategories(const JsonValue &root, const std::string &csv,
                      path.c_str(), want.c_str());
         ok = false;
     }
-    if (ok && seen_spans.empty()) {
+    // Counter-track files (e.g. --power-trace output) legitimately
+    // contain no spans; only demand spans when a required category is
+    // not itself a counter track.
+    if (ok && seen_spans.empty() && !all_counters) {
         std::fprintf(stderr, "%s: no nonzero-duration spans at all\n",
                      path.c_str());
         ok = false;

@@ -44,6 +44,7 @@ usage(std::ostream &os)
     os << "usage: soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]\n"
           "                [--max-ops=N] [--repro-out=PATH] [--no-shrink]\n"
           "                [--plant-violation] [--plant-lint-violation]\n"
+          "                [--plant-power-violation]\n"
           "                [--replay=PATH] [--verbose]\n"
           "\n"
           "  --seed=N            base RNG seed (default 1)\n"
@@ -59,6 +60,10 @@ usage(std::ostream &os)
           "                      append a defective system to every\n"
           "                      case (self-test of the composition\n"
           "                      linter's catch path)\n"
+          "  --plant-power-violation\n"
+          "                      plant a phantom energy leak in every\n"
+          "                      case's power ledger (self-test of the\n"
+          "                      energy-conservation invariant)\n"
           "  --replay=PATH       run one case from a repro file instead\n"
           "                      of sampling\n"
           "  --verbose           per-iteration progress lines\n";
@@ -99,6 +104,7 @@ main(int argc, char **argv)
     bool do_shrink = true;
     bool plant = false;
     bool plant_lint = false;
+    bool plant_power = false;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -118,6 +124,8 @@ main(int argc, char **argv)
             plant = true;
         } else if (arg == "--plant-lint-violation") {
             plant_lint = true;
+        } else if (arg == "--plant-power-violation") {
+            plant_power = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -158,6 +166,7 @@ main(int argc, char **argv)
         traffic.generate(c, static_cast<unsigned>(max_ops));
         c.plantViolation = plant;
         c.plantLintViolation = plant_lint;
+        c.plantPowerViolation = plant_power;
 
         // Cross-check the sampler against the composition linter:
         // every sampled case must be lint-clean (no error-severity

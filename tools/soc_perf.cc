@@ -6,7 +6,10 @@
  * --perf-json so the child reports its own wall time, simulated
  * cycles, cycles/sec, and peak RSS; repeats each bench N times and
  * takes the median; then runs one extra --host-profile pass per bench
- * to capture the top host-time components. The result is one
+ * to capture the top host-time components plus a --power-json capture
+ * of the modeled power summary (avg watts, energy/op — DESIGN.md §4f;
+ * simulated activity is deterministic, so piggybacking on the
+ * profiled pass costs no extra run). The result is one
  * schema-versioned BENCH_<label>.json — the perf-trajectory record
  * committed per measured commit under perf/ (see README).
  *
@@ -27,7 +30,8 @@
  *                      <this-binary's-dir>/../bench)
  *   --bench=a,b        run only the named benches (subset smoke runs;
  *                      the ctest perf label uses this)
- *   --no-host-profile  skip the profiled pass (host_top stays empty)
+ *   --no-host-profile  skip the profiled pass (host_top stays empty
+ *                      and no power summary is captured)
  *
  * Exit codes: 0 suite recorded, 1 a bench failed or produced
  * unparseable KPIs, 2 usage error or unwritable output.
@@ -50,6 +54,7 @@
 #include "base/json.h"
 #include "base/log.h"
 #include "perf/bench_json.h"
+#include "power/power_json.h"
 
 using namespace beethoven;
 
@@ -333,9 +338,10 @@ main(int argc, char **argv)
                 : 0.0;
 
         if (host_profile) {
-            const int rc = runCommand(base_cmd +
-                                      " --host-profile --perf-json=" +
-                                      tmp);
+            const std::string tmp_power = out_path + ".power.json";
+            const int rc = runCommand(
+                base_cmd + " --host-profile --perf-json=" + tmp +
+                " --power-json=" + tmp_power);
             if (rc != 0) {
                 std::cerr << "soc_perf: profiled " << bench
                           << " run exited with code " << rc << "\n";
@@ -352,6 +358,26 @@ main(int argc, char **argv)
                 std::remove(tmp.c_str());
                 return 1;
             }
+            // Power is modeled from simulated activity, so one pass
+            // is exact; a bench with no measured runs (e.g. the
+            // google-benchmark harness) just records zeros, which the
+            // suite writer omits.
+            try {
+                std::ifstream pf(tmp_power);
+                if (pf) {
+                    std::ostringstream ps;
+                    ps << pf.rdbuf();
+                    const PowerReport pr =
+                        parsePowerReport(parseJson(ps.str()));
+                    rec.avgWatts = pr.summaryAvgWatts();
+                    rec.energyPerOpUj = pr.summaryEnergyPerOpUj();
+                }
+            } catch (const ConfigError &e) {
+                std::cerr << "soc_perf: " << bench
+                          << " power summary ignored: " << e.what()
+                          << "\n";
+            }
+            std::remove(tmp_power.c_str());
         }
         suite.benches.push_back(std::move(rec));
     }

@@ -92,6 +92,17 @@ BenchCli::BenchCli(int &argc, char **argv)
         } else if (std::strncmp(arg, "--host-profile=", 15) == 0) {
             host_profile = true;
             profile_spec = arg + 15;
+        } else if (std::strncmp(arg, "--sim-kernel=", 13) == 0) {
+            const char *k = arg + 13;
+            if (std::strcmp(k, "event") == 0) {
+                _eventKernel = true;
+            } else if (std::strcmp(k, "tick") == 0) {
+                _eventKernel = false;
+            } else {
+                std::cerr << "bad --sim-kernel '" << k
+                          << "' (expected tick or event)\n";
+                std::exit(2);
+            }
         } else if (std::strncmp(arg, "--watchdog=", 11) == 0) {
             _watchdog = std::strtoull(arg + 11, nullptr, 10);
         } else if (std::strcmp(arg, "--quick") == 0) {
@@ -154,9 +165,16 @@ BenchCli::armWatchdog(Simulator &sim) const
         sim.setWatchdog(_watchdog);
 }
 
+SimKernel
+BenchCli::simKernel() const
+{
+    return _eventKernel ? SimKernel::Event : SimKernel::Tick;
+}
+
 void
 BenchCli::instrument(Simulator &sim) const
 {
+    sim.setKernel(simKernel());
     armWatchdog(sim);
     if (_profiler != nullptr)
         sim.attachHostProfiler(_profiler.get());

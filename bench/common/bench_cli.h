@@ -36,6 +36,12 @@
  *                       the --power-trace overhead knob)
  *   --watchdog=N        arm the simulator hang watchdog (abort after N
  *                       cycles without forward progress; 0 = off)
+ *   --sim-kernel=K      simulation kernel: "event" (default; quiescent
+ *                       modules sleep until a queue event re-arms
+ *                       them) or "tick" (the plain tick-everything
+ *                       reference kernel). Both produce bit-identical
+ *                       stats digests; event is faster on idle-heavy
+ *                       workloads
  *   --no-invariants     detach the live SocInvariants observers (AXI
  *                       legality, response accounting, NoC occupancy);
  *                       they are on by default and abort the bench on
@@ -71,6 +77,7 @@ class HostProfiler;
 class PowerMeter;
 class Simulator;
 class SocInvariants;
+enum class SimKernel;
 
 class BenchCli
 {
@@ -85,6 +92,9 @@ class BenchCli
 
     bool quick() const { return _quick; }
     bool tracing() const { return _sink != nullptr; }
+
+    /** The --sim-kernel selection (default SimKernel::Event). */
+    SimKernel simKernel() const;
 
     /** Arm @p sim's hang watchdog when --watchdog=N was given. */
     void armWatchdog(Simulator &sim) const;
@@ -163,6 +173,7 @@ class BenchCli
     u64 _powerWindow = 1024;
     bool _quick = false;
     bool _invariants = true;
+    bool _eventKernel = true; ///< --sim-kernel (default event)
     u64 _watchdog = 0;
     u64 _startNs = 0;
     std::unique_ptr<TraceSink> _sink;

@@ -29,11 +29,16 @@ MmioCommandSystem::MmioCommandSystem(Simulator &sim, std::string name,
         sim.stats().group(Module::name()).histogram("cmdLatency");
     h.configure(64, 16.0);
     _cmdLatency = &h;
+    _cmdOut.setWakeOnPop(this);
+    _respIn.setWakeOnPush(this);
 }
 
 void
 MmioCommandSystem::write32(u32 offset, u32 value)
 {
+    // Register writes arrive from the HostInterface outside our own
+    // tick; they are the wake event for a quiescent command system.
+    sim().wakeNow(this);
     switch (offset) {
       case mmio_regs::cmdBits:
         if (_stageCount < _stage.size())
@@ -140,14 +145,20 @@ MmioCommandSystem::tick()
             _cmdStart.erase(it);
         }
     }
-    if (did)
+    if (did) {
         _stall.account(StallClass::Busy);
-    else if (_submitPending || _respHeld)
-        _stall.account(StallClass::StallDownstream);
+        return;
+    }
+    // Nothing moved: every way forward is a register write (wakeNow
+    // from write32), a response arriving on _respIn, or space freeing
+    // in _cmdOut — all wired wake events, so quiesce until one fires.
+    StallClass c = StallClass::StallCmd;
+    if (_submitPending || _respHeld)
+        c = StallClass::StallDownstream;
     else if (!_cmdStart.empty())
-        _stall.account(StallClass::StallUpstream);
-    else
-        _stall.account(StallClass::StallCmd);
+        c = StallClass::StallUpstream;
+    _stall.account(c);
+    sleepWith(_stall, c);
 }
 
 } // namespace beethoven

@@ -47,20 +47,32 @@ class IntraCoreBridge : public Module
         : Module(sim, std::move(name)),
           _srcQ(sim, 4, latency),
           _broadcast(broadcast)
-    {}
+    {
+        _srcQ.setWakeOnPush(this);
+    }
 
     TimedQueue<SpadRequest> &srcQueue() { return _srcQ; }
-    void addTarget(TimedQueue<SpadRequest> *t) { _targets.push_back(t); }
+
+    void
+    addTarget(TimedQueue<SpadRequest> *t)
+    {
+        t->setWakeOnPop(this);
+        _targets.push_back(t);
+    }
 
     void
     tick() override
     {
-        if (!_srcQ.canPop())
+        if (!_srcQ.canPop()) {
+            requestSleep(); // re-armed by the next srcQueue push
             return;
+        }
         if (_broadcast) {
             for (auto *t : _targets) {
-                if (!t->canPush())
+                if (!t->canPush()) {
+                    requestSleep(); // re-armed when the target drains
                     return;
+                }
             }
             const SpadRequest req = _srcQ.pop();
             for (auto *t : _targets)
@@ -71,6 +83,8 @@ class IntraCoreBridge : public Module
                              _targets.size());
             if (_targets[0]->canPush())
                 _targets[0]->push(_srcQ.pop());
+            else
+                requestSleep(); // re-armed when the target drains
         }
     }
 

@@ -33,6 +33,12 @@ DramController::DramController(Simulator &sim, std::string name,
     _writeLatency = &g.histogram("writeLatency");
     _writeLatency->configure(64, 16.0);
     _nextRefreshAt = cfg.timing.tREFI;
+    // Event-kernel wiring: new requests and drained output ports wake
+    // the controller; refresh timing is self-armed at sleep.
+    _arIn.setWakeOnPush(this);
+    _wIn.setWakeOnPush(this);
+    _rOut.setWakeOnPop(this);
+    _bOut.setWakeOnPop(this);
 }
 
 void
@@ -60,9 +66,8 @@ DramController::tick()
         accountCycle(did, rd, wr, /*in_refresh=*/true);
         return;
     }
-    const auto cands = gatherCandidates();
-    const bool col = scheduleColumn(cands);
-    if (scheduleRowCommands(cands))
+    const bool col = scheduleColumn();
+    if (scheduleRowCommands())
         did = true;
     const ServiceResult rd = sendReadData();
     const ServiceResult wr = sendWriteResponses();
@@ -93,6 +98,12 @@ DramController::acceptRequests()
         txn.issued.assign(req.beats, false);
         txn.beatReadyAt.assign(req.beats, 0);
         txn.beatData.resize(req.beats);
+        txn.beatCoord.resize(req.beats);
+        for (u32 b = 0; b < req.beats; ++b) {
+            txn.beatCoord[b] = mapAddress(
+                _cfg.geometry,
+                req.addr + static_cast<Addr>(b) * _cfg.axi.dataBytes);
+        }
         _readOrder[req.id].push_back(req.tag);
         _reads.emplace(req.tag, std::move(txn));
         _timeline.record({now, AxiChannel::AR, req.id, req.tag, req.addr,
@@ -114,6 +125,13 @@ DramController::acceptRequests()
             txn.addr = f.header.addr;
             txn.beats = f.header.beats;
             txn.issued.assign(f.header.beats, false);
+            txn.beatCoord.resize(f.header.beats);
+            for (u32 b = 0; b < f.header.beats; ++b) {
+                txn.beatCoord[b] = mapAddress(
+                    _cfg.geometry, f.header.addr +
+                                       static_cast<Addr>(b) *
+                                           _cfg.axi.dataBytes);
+            }
             _timeline.record({now, AxiChannel::AW, txn.id, txn.tag,
                               txn.addr, txn.beats, false});
             // The header flit carries the first data beat.
@@ -121,6 +139,7 @@ DramController::acceptRequests()
                               f.beat.last});
             txn.data.push_back(std::move(f.beat));
             txn.beatsReceived = 1;
+            ++_pendingWriteBeats;
             const u64 tag = txn.tag;
             const bool complete = txn.data.back().last;
             beethoven_assert(!complete || txn.beats == 1,
@@ -141,6 +160,7 @@ DramController::acceptRequests()
             const bool last = f.beat.last;
             txn.data.push_back(std::move(f.beat));
             ++txn.beatsReceived;
+            ++_pendingWriteBeats;
             did = true;
             if (last) {
                 beethoven_assert(txn.beatsReceived == txn.beats,
@@ -153,17 +173,118 @@ DramController::acceptRequests()
     return did;
 }
 
-std::vector<DramController::Candidate>
-DramController::gatherCandidates() const
+void
+DramController::updateDrainMode()
 {
-    std::vector<Candidate> cands;
+    // Write-drain mode switching (watermark policy): service reads
+    // until enough write beats have buffered up (or no reads remain),
+    // then drain writes as a batch. This amortizes bus turnarounds the
+    // way real DDR controllers do. Candidate existence per direction
+    // is O(IDs): the head transaction's firstUnissued beat is exposed
+    // iff the ID's reorder slot is open (and the window is nonzero).
+    const Cycle now = sim().cycle();
+    bool reads_exist = false;
+    bool writes_exist = false;
+    if (_cfg.schedulerWindow != 0) {
+        for (const auto &[id, q] : _readOrder) {
+            if (q.empty())
+                continue;
+            auto gate = _readIdReadyAt.find(id);
+            if (gate != _readIdReadyAt.end() && now < gate->second)
+                continue;
+            const ReadTxn &txn = _reads.at(q.front());
+            if (txn.firstUnissued < txn.beats) {
+                reads_exist = true;
+                break;
+            }
+        }
+        for (const auto &[id, q] : _writeOrder) {
+            if (q.empty())
+                continue;
+            auto gate = _writeIdReadyAt.find(id);
+            if (gate != _writeIdReadyAt.end() && now < gate->second)
+                continue;
+            const WriteTxn &txn = _writes.at(q.front());
+            if (txn.firstUnissued < txn.beatsReceived) {
+                writes_exist = true;
+                break;
+            }
+        }
+    }
+    if (_writeDrainMode) {
+        if (!writes_exist)
+            _writeDrainMode = false;
+    } else {
+        if (_pendingWriteBeats >= _cfg.writeDrainHighWatermark ||
+            (!reads_exist && writes_exist)) {
+            _writeDrainMode = true;
+        }
+    }
+}
+
+void
+DramController::scanCandidates()
+{
     // AXI same-ID ordering: only the oldest transaction on each ID may
     // occupy the scheduler. This is the serialization that penalizes
     // single-ID streams (Fig. 5's HLS kernel). Within that head
     // transaction, up to schedulerWindow unissued beats are visible at
     // once (the command-queue lookahead of a real controller), which
     // lets the scheduler batch row activations and bus directions.
+    //
+    // Everything the column and row schedulers need is computed in
+    // this one pass. Iteration order (reads by ascending ID, beats in
+    // order, then writes) matches the old materialized candidate list,
+    // so all first-wins tie-breaks are preserved bit-for-bit.
     const Cycle now = sim().cycle();
+    _hasBestRead = false;
+    _hasBestWrite = false;
+    _bankValid.assign(_banks.size(), 0);
+    _bankHasHit.assign(_banks.size(), 0);
+    if (_oldestPerBank.size() != _banks.size())
+        _oldestPerBank.resize(_banks.size());
+
+    auto consider = [&](const Candidate &c) {
+        // Oldest candidate per bank (drain direction preferred, then
+        // age) — steers row commands.
+        Candidate &slot = _oldestPerBank[c.coord.bank];
+        if (_bankValid[c.coord.bank] == 0) {
+            slot = c;
+            _bankValid[c.coord.bank] = 1;
+        } else {
+            const bool c_on = c.isWrite == _writeDrainMode;
+            const bool cur_on = slot.isWrite == _writeDrainMode;
+            if ((c_on && !cur_on) || (c_on == cur_on && c.seq < slot.seq))
+                slot = c;
+        }
+        const BankState &bank = _banks[c.coord.bank];
+        const bool row_hit = bank.open && bank.row == c.coord.row;
+        // Banks with a pending row hit in the drain direction must not
+        // be precharged out from under it.
+        if (row_hit && c.isWrite == _writeDrainMode)
+            _bankHasHit[c.coord.bank] = 1;
+        // Ready row hits feed the column pick (FR-FCFS, oldest first).
+        if (!row_hit || now < bank.colReadyAt)
+            return;
+        // Bus turnaround: switching direction costs tSwitch idle
+        // cycles.
+        if (_anyColIssued && c.isWrite != _lastColWasWrite &&
+            now < _lastColAt + _cfg.timing.tSwitch) {
+            return;
+        }
+        if (c.isWrite) {
+            if (!_hasBestWrite || c.seq < _bestWrite.seq) {
+                _bestWrite = c;
+                _hasBestWrite = true;
+            }
+        } else {
+            if (!_hasBestRead || c.seq < _bestRead.seq) {
+                _bestRead = c;
+                _hasBestRead = true;
+            }
+        }
+    };
+
     for (const auto &[id, q] : _readOrder) {
         if (q.empty())
             continue;
@@ -172,19 +293,19 @@ DramController::gatherCandidates() const
             continue; // reorder slot for this ID is still recycling
         const ReadTxn &txn = _reads.at(q.front());
         unsigned exposed = 0;
+        Candidate c;
+        c.isWrite = false;
+        c.txnKey = txn.tag;
+        c.seq = txn.seq;
         for (u32 b = txn.firstUnissued;
              b < txn.beats && exposed < _cfg.schedulerWindow; ++b) {
             if (txn.issued[b])
                 continue;
-            Candidate c;
-            c.isWrite = false;
-            c.txnKey = txn.tag;
-            c.seq = txn.seq;
             c.beatIdx = b;
             c.beatAddr =
                 txn.addr + static_cast<Addr>(b) * _cfg.axi.dataBytes;
-            c.coord = mapAddress(_cfg.geometry, c.beatAddr);
-            cands.push_back(c);
+            c.coord = txn.beatCoord[b];
+            consider(c);
             ++exposed;
         }
     }
@@ -196,84 +317,49 @@ DramController::gatherCandidates() const
             continue;
         const WriteTxn &txn = _writes.at(q.front());
         unsigned exposed = 0;
+        Candidate c;
+        c.isWrite = true;
+        c.txnKey = txn.tag;
+        c.seq = txn.seq;
         for (u32 b = txn.firstUnissued;
              b < txn.beatsReceived && exposed < _cfg.schedulerWindow;
              ++b) {
             if (txn.issued[b])
                 continue;
-            Candidate c;
-            c.isWrite = true;
-            c.txnKey = txn.tag;
-            c.seq = txn.seq;
             c.beatIdx = b;
             c.beatAddr =
                 txn.addr + static_cast<Addr>(b) * _cfg.axi.dataBytes;
-            c.coord = mapAddress(_cfg.geometry, c.beatAddr);
-            cands.push_back(c);
+            c.coord = txn.beatCoord[b];
+            consider(c);
             ++exposed;
         }
     }
-    return cands;
 }
 
 bool
-DramController::scheduleColumn(const std::vector<Candidate> &cands)
+DramController::scheduleColumn()
 {
     const Cycle now = sim().cycle();
-    if (_anyColIssued && now <= _lastColAt)
-        return false; // data bus already used this cycle
-
-    // Write-drain mode switching (watermark policy): service reads
-    // until enough write beats have buffered up (or no reads remain),
-    // then drain writes as a batch. This amortizes bus turnarounds the
-    // way real DDR controllers do.
-    bool reads_exist = false;
-    bool writes_exist = false;
-    for (const Candidate &c : cands) {
-        (c.isWrite ? writes_exist : reads_exist) = true;
-    }
-    u64 pending_write_beats = 0;
-    for (const auto &[tag, txn] : _writes)
-        pending_write_beats += txn.beatsReceived - txn.beatsIssued;
-    if (_writeDrainMode) {
-        if (!writes_exist)
-            _writeDrainMode = false;
-    } else {
-        if (pending_write_beats >= _cfg.writeDrainHighWatermark ||
-            (!reads_exist && writes_exist)) {
-            _writeDrainMode = true;
-        }
+    if (_anyColIssued && now <= _lastColAt) {
+        // Data bus already used this cycle; the row scheduler still
+        // needs this cycle's candidate view (drain mode unchanged).
+        scanCandidates();
+        return false;
     }
 
-    auto pick = [&](bool want_write) -> const Candidate * {
-        const Candidate *best = nullptr;
-        for (const Candidate &c : cands) {
-            if (c.isWrite != want_write)
-                continue;
-            const BankState &bank = _banks[c.coord.bank];
-            if (!bank.open || bank.row != c.coord.row ||
-                now < bank.colReadyAt) {
-                continue; // not a ready row hit
-            }
-            // Bus turnaround: switching direction costs tSwitch idle
-            // cycles.
-            if (_anyColIssued && c.isWrite != _lastColWasWrite &&
-                now < _lastColAt + _cfg.timing.tSwitch) {
-                continue;
-            }
-            // FR-FCFS among ready row hits: oldest first.
-            if (best == nullptr || c.seq < best->seq)
-                best = &c;
-        }
-        return best;
-    };
+    updateDrainMode();
+    scanCandidates();
 
     // Serve the drain direction; if it has nothing ready this cycle,
     // fall back to the other direction rather than idling the data
     // bus (work-conserving, as real controllers are).
-    const Candidate *best = pick(_writeDrainMode);
-    if (best == nullptr)
-        best = pick(!_writeDrainMode);
+    const Candidate *best = nullptr;
+    if (_writeDrainMode)
+        best = _hasBestWrite ? &_bestWrite
+                             : (_hasBestRead ? &_bestRead : nullptr);
+    else
+        best = _hasBestRead ? &_bestRead
+                            : (_hasBestWrite ? &_bestWrite : nullptr);
     if (best == nullptr)
         return false;
     const Candidate chosen = *best;
@@ -296,6 +382,7 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
         _mem.writeMasked(chosen.beatAddr, beat.data, beat.strb);
         txn.issued[chosen.beatIdx] = true;
         ++txn.beatsIssued;
+        --_pendingWriteBeats;
         while (txn.firstUnissued < txn.beats &&
                txn.issued[txn.firstUnissued]) {
             ++txn.firstUnissued;
@@ -320,29 +407,29 @@ DramController::scheduleColumn(const std::vector<Candidate> &cands)
 }
 
 bool
-DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
+DramController::scheduleRowCommands()
 {
     const Cycle now = sim().cycle();
-    // For each bank, only the oldest waiting candidate may steer row
-    // state; this prevents younger requests from closing a row an older
-    // request is about to use.
-    std::map<unsigned, const Candidate *> oldest_per_bank;
-    for (const Candidate &c : cands) {
-        auto [it, inserted] = oldest_per_bank.emplace(c.coord.bank, &c);
-        if (inserted)
-            continue;
-        // Prefer candidates in the current drain direction, then age.
-        const bool c_on = c.isWrite == _writeDrainMode;
-        const bool cur_on = it->second->isWrite == _writeDrainMode;
-        if ((c_on && !cur_on) || (c_on == cur_on && c.seq < it->second->seq))
-            it->second = &c;
-    }
-
+    // scanCandidates() (run by scheduleColumn this cycle) left the
+    // per-bank products: for each bank, only the oldest waiting
+    // candidate may steer row state — this prevents younger requests
+    // from closing a row an older request is about to use. Banks that
+    // still have a pending row-hit candidate *in the active drain
+    // direction* (_bankHasHit) should not be precharged out from under
+    // it; off-direction hits cannot issue until the mode flips, so
+    // they must not be allowed to pin rows — that would deadlock
+    // against the drain policy. (The column issue earlier this cycle
+    // only touches colReadyAt/preReadyAt, never open/row, so these
+    // flags are unaffected by it.)
+    //
     // One row command (ACT or PRE) per cycle: prepare banks for the
     // current drain direction first, oldest request first.
-    std::vector<const Candidate *> ordered;
-    for (auto &[bankIdx, c] : oldest_per_bank)
-        ordered.push_back(c);
+    std::vector<const Candidate *> &ordered = _rowOrdered;
+    ordered.clear();
+    for (std::size_t b = 0; b < _banks.size(); ++b) {
+        if (_bankValid[b] != 0)
+            ordered.push_back(&_oldestPerBank[b]);
+    }
     const bool drain_writes = _writeDrainMode;
     std::sort(ordered.begin(), ordered.end(),
               [drain_writes](const Candidate *a, const Candidate *b) {
@@ -353,27 +440,13 @@ DramController::scheduleRowCommands(const std::vector<Candidate> &cands)
                   return a->seq < b->seq;
               });
 
-    // Banks that still have a pending row-hit candidate *in the active
-    // drain direction* should not be precharged out from under it.
-    // (Off-direction hits cannot issue until the mode flips, so they
-    // must not be allowed to pin rows — that would deadlock against
-    // the drain policy.)
-    std::map<unsigned, bool> bank_has_hit;
-    for (const Candidate &c : cands) {
-        if (c.isWrite != _writeDrainMode)
-            continue;
-        const BankState &bank = _banks[c.coord.bank];
-        if (bank.open && bank.row == c.coord.row)
-            bank_has_hit[c.coord.bank] = true;
-    }
-
     for (const Candidate *c : ordered) {
         BankState &bank = _banks[c->coord.bank];
         if (bank.open && bank.row == c->coord.row)
             continue; // already a row hit; nothing to do
         if (bank.open) {
-            if (bank_has_hit.count(c->coord.bank))
-                continue; // let the open row drain first
+            if (_bankHasHit[c->coord.bank] != 0)
+                continue; // let the open row drain first (see above)
             if (now >= bank.preReadyAt) {
                 bank.open = false;
                 bank.actReadyAt = std::max(bank.actReadyAt,
@@ -607,6 +680,14 @@ DramController::accountCycle(bool did, ServiceResult rd, ServiceResult wr,
     if (_reads.empty() && _writes.empty() && !_arIn.canPop() &&
         !_wIn.canPop()) {
         _stall.account(StallClass::Idle);
+        // Fully drained: no transaction state, no per-ID wait tracking,
+        // nothing poppable. The only autonomous future event is the
+        // refresh window, so arm it and quiesce; new AR/W pushes wake
+        // us earlier. The controller must NOT sleep in any other state:
+        // trackIdWaits and bank timing mutate digest-visible stats
+        // every cycle transactions are in flight.
+        requestWakeAt(_nextRefreshAt);
+        sleepWith(_stall, StallClass::Idle);
         return;
     }
     if (in_refresh) {
@@ -629,13 +710,24 @@ DramController::dumpInFlight(std::ostream &os) const
     const Cycle now = sim().cycle();
     os << name() << " in-flight: " << _reads.size() << " reads, "
        << _writes.size() << " writes\n";
-    for (const auto &[tag, txn] : _reads) {
+    // Tag order for stable diagnostics (the maps are unordered).
+    std::vector<u64> tags;
+    for (const auto &[tag, txn] : _reads)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    for (u64 tag : tags) {
+        const ReadTxn &txn = _reads.at(tag);
         os << "  rd tag=" << tag << " id=" << txn.id << " addr=0x"
            << std::hex << txn.addr << std::dec << " beats=" << txn.beats
            << " issued=" << txn.beatsIssued << " sent=" << txn.beatsSent
            << " age=" << (now - txn.acceptedAt) << "\n";
     }
-    for (const auto &[tag, txn] : _writes) {
+    tags.clear();
+    for (const auto &[tag, txn] : _writes)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    for (u64 tag : tags) {
+        const WriteTxn &txn = _writes.at(tag);
         os << "  wr tag=" << tag << " id=" << txn.id << " addr=0x"
            << std::hex << txn.addr << std::dec << " beats=" << txn.beats
            << " received=" << txn.beatsReceived

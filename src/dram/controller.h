@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "axi/axi_types.h"
@@ -115,6 +116,7 @@ class DramController : public Module
         std::vector<bool> issued;              ///< per-beat issue flag
         std::vector<Cycle> beatReadyAt;        ///< 0 = not yet issued
         std::vector<std::vector<u8>> beatData; ///< captured at issue
+        std::vector<DramCoord> beatCoord;      ///< mapped once at accept
     };
 
     struct WriteTxn
@@ -130,6 +132,7 @@ class DramController : public Module
         u32 firstUnissued = 0;
         std::vector<bool> issued;
         std::vector<WriteBeat> data;
+        std::vector<DramCoord> beatCoord; ///< mapped once at accept
     };
 
     struct BankState
@@ -161,12 +164,18 @@ class DramController : public Module
     };
 
     bool acceptRequests();
-    bool scheduleColumn(const std::vector<Candidate> &cands);
-    bool scheduleRowCommands(const std::vector<Candidate> &cands);
+    bool scheduleColumn();
+    bool scheduleRowCommands();
     ServiceResult sendReadData();
     ServiceResult sendWriteResponses();
 
-    std::vector<Candidate> gatherCandidates() const;
+    /** Recompute _writeDrainMode from candidate existence per side. */
+    void updateDrainMode();
+    /** One pass over the schedulable-beat set computing everything the
+     *  schedulers need (best ready row hit per direction, oldest
+     *  candidate per bank, per-bank row-hit flags) without
+     *  materializing the candidate list. */
+    void scanCandidates();
 
     /** Classify the cycle and update the per-AXI-ID wait counters. */
     void accountCycle(bool did, ServiceResult rd, ServiceResult wr,
@@ -182,16 +191,37 @@ class DramController : public Module
     TimedQueue<ReadBeat> _rOut;
     TimedQueue<WriteResponse> _bOut;
 
-    std::map<u64, ReadTxn> _reads;   ///< keyed by tag
-    std::map<u64, WriteTxn> _writes; ///< keyed by tag
+    /** In-flight transactions keyed by tag. Hash maps: the hot path
+     *  only ever looks tags up (several times per in-flight cycle);
+     *  ordered iteration is never needed — per-ID order lives in
+     *  _readOrder/_writeOrder, and dumpInFlight sorts for display. */
+    std::unordered_map<u64, ReadTxn> _reads;
+    std::unordered_map<u64, WriteTxn> _writes;
     std::map<u32, std::deque<u64>> _readOrder;  ///< per-ID tag FIFOs
     std::map<u32, std::deque<u64>> _writeOrder;
     std::map<u32, Cycle> _readIdReadyAt;  ///< same-ID recycle gates
     std::map<u32, Cycle> _writeIdReadyAt;
     u64 _fillingWrite = 0;  ///< tag of write currently receiving W beats
     bool _hasFilling = false;
+    /** Buffered-but-unissued write beats across all transactions,
+     *  maintained incrementally (== sum of beatsReceived-beatsIssued)
+     *  so the per-cycle drain-watermark check is O(1). */
+    u64 _pendingWriteBeats = 0;
 
     std::vector<BankState> _banks;
+    /** scanCandidates() products, reused across tick()s so the
+     *  scheduler hot path is allocation-free (this module ticks every
+     *  in-flight cycle and dominates host time on streaming benches).
+     *  _oldestPerBank/_bankHasHit are indexed by bank; _bankValid
+     *  gates stale _oldestPerBank entries. */
+    std::vector<Candidate> _oldestPerBank;
+    std::vector<u8> _bankValid;
+    std::vector<u8> _bankHasHit;
+    std::vector<const Candidate *> _rowOrdered;
+    Candidate _bestRead;  ///< oldest ready row-hit read, if any
+    Candidate _bestWrite; ///< oldest ready row-hit write, if any
+    bool _hasBestRead = false;
+    bool _hasBestWrite = false;
     std::deque<Cycle> _recentActs; ///< for tFAW
     Cycle _nextActAt = 0;          ///< for tRRD
     Cycle _lastColAt = 0;

@@ -33,6 +33,12 @@ Reader::Reader(Simulator &sim, std::string name,
     _statTxns = &g.scalar("transactions");
     _streamCycles = &g.histogram("streamCycles");
     _streamCycles->configure(64, 64.0);
+    // Event-kernel wiring: every condition a blocked tick waits on is
+    // a queue event on one of these four ports.
+    _cmdQ.setWakeOnPush(this);
+    _dataQ.setWakeOnPop(this);
+    _arOut->setWakeOnPop(this);
+    _rIn->setWakeOnPush(this);
 }
 
 bool
@@ -57,18 +63,17 @@ Reader::tick()
         _stall.account(StallClass::Busy);
         return;
     }
+    StallClass c = StallClass::StallMem;
     if (!_active) {
         // Command queued but not yet visible counts as valid-wait.
-        _stall.account(_cmdQ.occupancy() > 0 ? StallClass::StallUpstream
-                                             : StallClass::StallCmd);
-        return;
+        c = _cmdQ.occupancy() > 0 ? StallClass::StallUpstream
+                                  : StallClass::StallCmd;
+    } else if (!_dataQ.canPush() ||
+               (_reqBytesLeft > 0 && !_arOut->canPush())) {
+        c = StallClass::StallDownstream;
     }
-    if (!_dataQ.canPush() ||
-        (_reqBytesLeft > 0 && !_arOut->canPush())) {
-        _stall.account(StallClass::StallDownstream);
-        return;
-    }
-    _stall.account(StallClass::StallMem);
+    _stall.account(c);
+    sleepWith(_stall, c);
 }
 
 bool

@@ -29,6 +29,12 @@ Scratchpad::Scratchpad(Simulator &sim, std::string name,
             init_reader->params().dataBytes, params.rowBytes());
         _initQ = std::make_unique<TimedQueue<SpadInitCommand>>(sim, 2);
         _initDoneQ = std::make_unique<TimedQueue<StreamDone>>(sim, 2);
+        // Event-kernel wiring: init commands and the init reader's
+        // returned rows both wake a quiescent scratchpad.
+        _initQ->setWakeOnPush(this);
+        _initDoneQ->setWakeOnPop(this);
+        init_reader->dataPort().setWakeOnPush(this);
+        init_reader->cmdPort().setWakeOnPop(this);
     }
     for (unsigned p = 0; p < params.nPorts; ++p) {
         _reqPorts.push_back(std::make_unique<TimedQueue<SpadRequest>>(
@@ -36,6 +42,8 @@ Scratchpad::Scratchpad(Simulator &sim, std::string name,
         _respPorts.push_back(std::make_unique<TimedQueue<SpadResponse>>(
             sim, params.portQueueDepth + params.latency,
             std::max(1u, params.latency)));
+        _reqPorts.back()->setWakeOnPush(this);
+        _respPorts.back()->setWakeOnPop(this);
     }
 }
 
@@ -75,6 +83,7 @@ Scratchpad::addIntraCoreWritePort()
 {
     _intraPorts.push_back(
         std::make_unique<TimedQueue<SpadRequest>>(sim(), 4));
+    _intraPorts.back()->setWakeOnPush(this);
     return *_intraPorts.back();
 }
 
@@ -164,14 +173,19 @@ Scratchpad::tick()
     if (serveInit())
         did = true;
 
-    if (did)
+    if (did) {
         _stall.account(StallClass::Busy);
-    else if (read_blocked)
-        _stall.account(StallClass::StallDownstream);
+        return;
+    }
+    // Blocked or idle: every way forward is a port push, a response
+    // drain, or the init reader returning rows — all wired wakes.
+    StallClass c = StallClass::Idle;
+    if (read_blocked)
+        c = StallClass::StallDownstream;
     else if (_initActive)
-        _stall.account(StallClass::StallMem);
-    else
-        _stall.account(StallClass::Idle);
+        c = StallClass::StallMem;
+    _stall.account(c);
+    sleepWith(_stall, c);
 }
 
 bool

@@ -34,6 +34,13 @@ Writer::Writer(Simulator &sim, std::string name,
     _statTxns = &g.scalar("transactions");
     _streamCycles = &g.histogram("streamCycles");
     _streamCycles->configure(64, 64.0);
+    // Event-kernel wiring: every condition a blocked tick waits on is
+    // a queue event on one of these five ports.
+    _cmdQ.setWakeOnPush(this);
+    _dataQ.setWakeOnPush(this);
+    _doneQ.setWakeOnPop(this);
+    _wOut->setWakeOnPop(this);
+    _bIn->setWakeOnPush(this);
 }
 
 bool
@@ -72,21 +79,18 @@ Writer::tick()
         _stall.account(StallClass::Busy);
         return;
     }
+    StallClass c = StallClass::StallMem;
     if (!_active) {
-        _stall.account(_cmdQ.occupancy() > 0 ? StallClass::StallUpstream
-                                             : StallClass::StallCmd);
-        return;
-    }
-    if (done_ready || (_open.valid && !_wOut->canPush())) {
+        c = _cmdQ.occupancy() > 0 ? StallClass::StallUpstream
+                                  : StallClass::StallCmd;
+    } else if (done_ready || (_open.valid && !_wOut->canPush())) {
         // Done token or W channel backpressured.
-        _stall.account(StallClass::StallDownstream);
-        return;
+        c = StallClass::StallDownstream;
+    } else if (_stagedTotal < _cmdLen && !_dataQ.canPop()) {
+        c = StallClass::StallUpstream;
     }
-    if (_stagedTotal < _cmdLen && !_dataQ.canPop()) {
-        _stall.account(StallClass::StallUpstream);
-        return;
-    }
-    _stall.account(StallClass::StallMem);
+    _stall.account(c);
+    sleepWith(_stall, c);
 }
 
 bool

@@ -64,9 +64,16 @@ class MuxNode : public Module
             Lock lock = Lock{}, StatScalar *flits = nullptr)
         : Module(sim, std::move(name)), _out(out), _lock(std::move(lock)),
           _flits(flits), _stall(sim, Module::name())
-    {}
+    {
+        _out->setWakeOnPop(this);
+    }
 
-    void addInput(TimedQueue<F> *in) { _inputs.push_back(in); }
+    void
+    addInput(TimedQueue<F> *in)
+    {
+        in->setWakeOnPush(this);
+        _inputs.push_back(in);
+    }
 
     std::size_t numInputs() const { return _inputs.size(); }
 
@@ -87,8 +94,8 @@ class MuxNode : public Module
                     }
                 }
             }
-            _stall.account(pending ? StallClass::StallDownstream
-                                   : StallClass::Idle);
+            settle(pending ? StallClass::StallDownstream
+                           : StallClass::Idle);
             return;
         }
         if (_lockRemaining > 0) {
@@ -101,7 +108,7 @@ class MuxNode : public Module
                 _stall.account(StallClass::Busy);
             } else {
                 // Mid-burst valid-wait on the locked input.
-                _stall.account(StallClass::StallUpstream);
+                settle(StallClass::StallUpstream);
             }
             return;
         }
@@ -125,10 +132,21 @@ class MuxNode : public Module
             _stall.account(StallClass::Busy);
             return;
         }
-        _stall.account(StallClass::Idle);
+        settle(StallClass::Idle);
     }
 
   private:
+    /**
+     * Non-forwarding cycle: every way out of this state is a queue
+     * event on a wired input or the output, so quiesce until one fires.
+     */
+    void
+    settle(StallClass c)
+    {
+        _stall.account(c);
+        sleepWith(_stall, c);
+    }
+
     std::vector<TimedQueue<F> *> _inputs;
     TimedQueue<F> *_out;
     Lock _lock;
@@ -153,12 +171,15 @@ class DemuxNode : public Module
               KeyFn key, StatScalar *flits = nullptr)
         : Module(sim, std::move(name)), _in(in), _key(std::move(key)),
           _flits(flits), _stall(sim, Module::name())
-    {}
+    {
+        _in->setWakeOnPush(this);
+    }
 
     /** Declare that endpoint @p endpoint is reached through @p out. */
     void
     addRoute(std::size_t endpoint, TimedQueue<F> *out)
     {
+        out->setWakeOnPop(this);
         _routes[endpoint] = out;
     }
 
@@ -167,6 +188,7 @@ class DemuxNode : public Module
     {
         if (!_in->canPop()) {
             _stall.account(StallClass::Idle);
+            sleepWith(_stall, StallClass::Idle);
             return;
         }
         const std::size_t key = _key(_in->front());
@@ -181,6 +203,7 @@ class DemuxNode : public Module
             _stall.account(StallClass::Busy);
         } else {
             _stall.account(StallClass::StallDownstream);
+            sleepWith(_stall, StallClass::StallDownstream);
         }
     }
 
@@ -201,7 +224,10 @@ class QueuePump : public Module
               TimedQueue<F> *dst)
         : Module(sim, std::move(name)), _src(src), _dst(dst),
           _stall(sim, Module::name())
-    {}
+    {
+        _src->setWakeOnPush(this);
+        _dst->setWakeOnPop(this);
+    }
 
     void
     tick() override
@@ -211,8 +237,10 @@ class QueuePump : public Module
             _stall.account(StallClass::Busy);
         } else if (_src->canPop()) {
             _stall.account(StallClass::StallDownstream);
+            sleepWith(_stall, StallClass::StallDownstream);
         } else {
             _stall.account(StallClass::Idle);
+            sleepWith(_stall, StallClass::Idle);
         }
     }
 

@@ -22,10 +22,14 @@
 
 #include <string>
 
+#include "base/types.h"
+
 namespace beethoven
 {
 
 class Simulator;
+class StallAccount;
+enum class StallClass : unsigned char;
 
 /** Anything with per-cycle end-of-cycle state publication. */
 class Committable
@@ -60,9 +64,42 @@ class Module
 
     Simulator &sim() const { return _sim; }
 
+    /** Registration order; also the tick order within a cycle. */
+    std::size_t index() const { return _index; }
+
+    /** False while quiescent under the event kernel. */
+    bool awake() const { return _awake; }
+
+  protected:
+    /**
+     * Declare quiescence: under the event kernel the module is not
+     * ticked again until a wake arrives (a counterparty queue event,
+     * requestWakeAt, or an external wakeNow). No-op under the tick
+     * kernel. Call only when the next tick would provably change no
+     * state — every input empty, every pending output event armed.
+     */
+    void requestSleep();
+
+    /** Arm a self-wake at cycle @p at (e.g. DRAM refresh timing). */
+    void requestWakeAt(Cycle at);
+
+    /**
+     * Sleep and tell @p acct to backfill the quiescent gap with
+     * @p gap_class instead of Idle, so the published stall taxonomy is
+     * bit-identical to the tick kernel's (which would have classified
+     * every slept cycle as @p gap_class). No-op under the tick kernel.
+     */
+    void sleepWith(StallAccount &acct, StallClass gap_class);
+
   private:
+    friend class Simulator;
+
     Simulator &_sim;
     std::string _name;
+    std::size_t _index = 0;
+    bool _awake = true;
+    /** Dedup guard: last wheel cycle a wake was armed for (0 = none). */
+    Cycle _lastScheduledWake = 0;
 };
 
 } // namespace beethoven

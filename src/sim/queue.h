@@ -47,6 +47,23 @@ class TimedQueue : public Committable
         sim.registerCommittable(this);
     }
 
+    /**
+     * Event-kernel wake wiring: wake @p consumer whenever an entry is
+     * pushed. Pushes wake twice — immediately (staged occupancy is
+     * visible to later-ticking modules this cycle) and at push
+     * visibility (cycle + latency, when the entry becomes poppable) —
+     * so a consumer that wakes early, finds nothing poppable, and
+     * re-sleeps is still re-armed for the beat's arrival.
+     */
+    void setWakeOnPush(Module *consumer) { _wakeOnPush = consumer; }
+
+    /**
+     * Wake @p producer whenever an entry is popped. Occupancy is
+     * registered (freed space appears at cycle + 1), so the wake is
+     * armed for the next cycle regardless of tick order.
+     */
+    void setWakeOnPop(Module *producer) { _wakeOnPop = producer; }
+
     /** True if a push this cycle would be accepted. */
     bool
     canPush() const
@@ -60,6 +77,11 @@ class TimedQueue : public Committable
     {
         beethoven_assert(canPush(), "push to full queue");
         _pending.push_back(std::move(value));
+        if (_wakeOnPush != nullptr) {
+            _sim.wakeNow(_wakeOnPush);
+            _sim.wakeAt(_wakeOnPush, _sim.cycle() + _latency);
+        }
+        markDirty();
     }
 
     /** True if front() / pop() are legal this cycle. */
@@ -88,6 +110,9 @@ class TimedQueue : public Committable
         T v = std::move(_entries.front().value);
         _entries.pop_front();
         ++_popsThisCycle;
+        if (_wakeOnPop != nullptr)
+            _sim.wakeAt(_wakeOnPop, _sim.cycle() + 1);
+        markDirty();
         return v;
     }
 
@@ -124,6 +149,7 @@ class TimedQueue : public Committable
             _entries.push_back(Entry{ready_at, std::move(v)});
         _pending.clear();
         _popsThisCycle = 0;
+        _dirty = false;
     }
 
   private:
@@ -133,12 +159,25 @@ class TimedQueue : public Committable
         T value;
     };
 
+    /** First push/pop of the cycle enrols this queue for commit. */
+    void
+    markDirty()
+    {
+        if (!_dirty && _sim.eventKernel()) {
+            _dirty = true;
+            _sim.markDirty(this);
+        }
+    }
+
     Simulator &_sim;
     std::size_t _capacity;
     unsigned _latency;
     std::deque<Entry> _entries;
     std::vector<T> _pending;
     std::size_t _popsThisCycle = 0;
+    Module *_wakeOnPush = nullptr;
+    Module *_wakeOnPop = nullptr;
+    bool _dirty = false;
 };
 
 } // namespace beethoven

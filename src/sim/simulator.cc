@@ -40,8 +40,131 @@ Module::Module(Simulator &sim, std::string name)
 }
 
 void
+Module::requestSleep()
+{
+    if (_sim.eventKernel())
+        _sim.sleepModule(this);
+}
+
+void
+Module::requestWakeAt(Cycle at)
+{
+    _sim.wakeAt(this, at);
+}
+
+void
+Module::sleepWith(StallAccount &acct, StallClass gap_class)
+{
+    if (!_sim.eventKernel())
+        return;
+    acct.setGapClass(gap_class);
+    _sim.sleepModule(this);
+}
+
+const char *
+simKernelName(SimKernel k)
+{
+    return k == SimKernel::Event ? "event" : "tick";
+}
+
+void
+Simulator::setKernel(SimKernel k)
+{
+    _kernel = k;
+    if (k == SimKernel::Event) {
+        // Conservative start: everything awake, quiescence re-forms as
+        // modules discover they have nothing to do. Stale wheel entries
+        // from an earlier event phase only cause spurious wakes.
+        for (Module *m : _modules)
+            m->_awake = true;
+    }
+    _dirtyCommits.clear();
+}
+
+void
+Simulator::wakeNow(Module *m)
+{
+    if (_kernel != SimKernel::Event || m->_awake)
+        return;
+    if (_inTickPhase && m->_index <= _cursor) {
+        // The module already ticked this cycle (or is mid-tick): the
+        // earliest it could observe the event under the tick kernel is
+        // next cycle, so defer the wake to the wheel.
+        scheduleWake(m, _cycle + 1);
+    } else {
+        m->_awake = true;
+    }
+}
+
+void
+Simulator::wakeAt(Module *m, Cycle at)
+{
+    if (_kernel != SimKernel::Event)
+        return;
+    if (at <= _cycle) {
+        wakeNow(m);
+        return;
+    }
+    scheduleWake(m, at);
+}
+
+void
+Simulator::scheduleWake(Module *m, Cycle at)
+{
+    if (m->_lastScheduledWake == at)
+        return; // a wheel entry for this cycle is already armed
+    m->_lastScheduledWake = at;
+    ++_scheduledWakes;
+    if (_plantLostWakePeriod != 0 &&
+        _scheduledWakes % _plantLostWakePeriod == 0) {
+        return; // planted fault: this wake is silently lost
+    }
+    _wheel.schedule(_cycle, at, m);
+}
+
+std::size_t
+Simulator::activeModules() const
+{
+    std::size_t n = 0;
+    for (const Module *m : _modules)
+        n += m->_awake ? 1 : 0;
+    return n;
+}
+
+void
+Simulator::stepPhasesEvent()
+{
+    _wheel.drain(_cycle, [](Module *m) { m->_awake = true; });
+    _inTickPhase = true;
+    u64 ticks = 0;
+    for (std::size_t i = 0; i < _modules.size(); ++i) {
+        Module *m = _modules[i];
+        if (!m->_awake)
+            continue;
+        _cursor = i;
+        m->tick();
+        ++ticks;
+    }
+    _inTickPhase = false;
+    // Only queues that staged a push or pop this cycle have anything to
+    // publish; a clean TimedQueue commit is a no-op by construction.
+    for (Committable *c : _dirtyCommits)
+        c->commit();
+    _dirtyCommits.clear();
+    g_moduleTicks += ticks;
+}
+
+void
 Simulator::stepPhasesProfiled()
 {
+    if (_kernel == SimKernel::Event) {
+        // Profiled cycles tick everything so per-module wall-time
+        // attribution stays complete; wake/dirty bookkeeping still runs
+        // underneath (ticking a sleeper is a harmless superset — it
+        // re-accounts the class its sleep gap would have backfilled),
+        // so an unprofiled run can resume the quiescent schedule.
+        _wheel.drain(_cycle, [](Module *m) { m->_awake = true; });
+    }
     HostProfiler &hp = *_hostProf;
     if (!hp.onCycle()) {
         // Unmeasured cycle (sampling miss or KPI-only mode): the same
@@ -50,6 +173,7 @@ Simulator::stepPhasesProfiled()
             m->tick();
         for (Committable *c : _commits)
             c->commit();
+        _dirtyCommits.clear();
         return;
     }
     // Modules registered since attach (or since last growth) get
@@ -70,6 +194,7 @@ Simulator::stepPhasesProfiled()
     }
     for (Committable *c : _commits)
         c->commit();
+    _dirtyCommits.clear();
     const u64 t_end = hostNowNs();
     hp.add(hp.commitComponentId(), t_end - t_prev);
     hp.addTotal(t_end - t_start);
@@ -80,17 +205,31 @@ Simulator::stepPhasesProfiled()
 void
 Simulator::step()
 {
-    if (_hostProf != nullptr) {
+    // KPI-only profiling (the bare --perf-json heartbeat) never reads
+    // per-module clocks, so it composes with the event kernel: advance
+    // the heartbeat and take the quiescence-aware step. Sampling and
+    // scoped modes need every module ticked for complete wall-time
+    // attribution and keep the tick-all profiled path.
+    const bool kpi_only =
+        _hostProf != nullptr &&
+        _hostProf->mode() == HostProfiler::Mode::KpiOnly;
+    if (_hostProf != nullptr &&
+        (_kernel != SimKernel::Event || !kpi_only)) {
         stepPhasesProfiled();
+        g_moduleTicks += _modules.size();
+    } else if (_kernel == SimKernel::Event) {
+        if (kpi_only)
+            _hostProf->onCycle();
+        stepPhasesEvent();
     } else {
         for (Module *m : _modules)
             m->tick();
         for (Committable *c : _commits)
             c->commit();
+        g_moduleTicks += _modules.size();
     }
     ++_cycle;
     ++g_simCycles;
-    g_moduleTicks += _modules.size();
     if (_powerMeter != nullptr)
         _powerMeter->onCycle(*this);
     if (_trace != nullptr && !_stallAccounts.empty() &&

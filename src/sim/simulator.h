@@ -13,6 +13,7 @@
 #include "base/stats.h"
 #include "base/types.h"
 #include "sim/module.h"
+#include "sim/wake_wheel.h"
 
 namespace beethoven
 {
@@ -56,6 +57,22 @@ class Invariant
 };
 
 /**
+ * Which step() implementation clocks the SoC (see DESIGN.md §3).
+ *
+ * Both kernels step cycle-by-cycle and produce bit-identical results;
+ * the event kernel skips the tick of every quiescent module, which is
+ * where the idle-heavy speedup comes from. Tick remains the reference
+ * kernel the differential harness compares against.
+ */
+enum class SimKernel
+{
+    Tick, ///< tick every module every cycle (the naive reference)
+    Event ///< tick only awake modules; sleepers wait on the wake wheel
+};
+
+const char *simKernelName(SimKernel k);
+
+/**
  * Clocks registered Modules and commits registered Committables.
  *
  * The simulator holds non-owning pointers; the elaborated SoC owns all
@@ -70,7 +87,11 @@ class Simulator
     Simulator &operator=(const Simulator &) = delete;
 
     /** Register a module for ticking (called by Module's constructor). */
-    void registerModule(Module *m) { _modules.push_back(m); }
+    void registerModule(Module *m)
+    {
+        m->_index = _modules.size();
+        _modules.push_back(m);
+    }
 
     /** Register a queue (or other state) for end-of-cycle commits. */
     void registerCommittable(Committable *c) { _commits.push_back(c); }
@@ -95,6 +116,62 @@ class Simulator
 
     /** Current cycle (number of completed steps). */
     Cycle cycle() const { return _cycle; }
+
+    /**
+     * Select the stepping kernel. Switching to Event wakes every
+     * module (conservative: the first cycles re-establish quiescence);
+     * switching away discards pending dirty-commit tracking. Safe to
+     * call between steps only.
+     */
+    void setKernel(SimKernel k);
+    SimKernel kernel() const { return _kernel; }
+    bool eventKernel() const { return _kernel == SimKernel::Event; }
+
+    /**
+     * Wake @p m so it observes an event staged this cycle. Mirrors the
+     * tick kernel's visibility exactly: a module at or before the
+     * current tick cursor has already run this cycle, so its wake is
+     * deferred to the wheel at cycle+1; a module after the cursor (or
+     * a wake arriving outside the tick phase) is woken in place.
+     * No-op under the tick kernel or when @p m is already awake.
+     */
+    void wakeNow(Module *m);
+
+    /**
+     * Arm a wake for @p m at cycle @p at (clamped to wakeNow when
+     * @p at is not in the future). Consecutive re-arms for the same
+     * cycle are deduplicated per module.
+     */
+    void wakeAt(Module *m, Cycle at);
+
+    /** Mark @p m quiescent (the Module::requestSleep back end). */
+    void sleepModule(Module *m) { m->_awake = false; }
+
+    /**
+     * Note that @p c staged state this cycle; the event kernel commits
+     * only dirty committables (a clean TimedQueue commit is a no-op).
+     * Callers must not re-mark until the next cycle (guard with their
+     * own dirty flag).
+     */
+    void markDirty(Committable *c) { _dirtyCommits.push_back(c); }
+
+    /** Modules awake right now (the event kernel's active set size). */
+    std::size_t activeModules() const;
+
+    /** Wakes armed on the wheel and not yet delivered. */
+    std::size_t pendingWakes() const { return _wheel.pending(); }
+
+    /**
+     * Fault injection for the differential harness: silently drop
+     * every @p period-th wheel-armed wake (0 disables). A dropped wake
+     * makes a sleeper oversleep, which the tick-vs-event differential
+     * check must surface as a digest mismatch or hang.
+     */
+    void plantLostWakes(u64 period)
+    {
+        _plantLostWakePeriod = period;
+        _scheduledWakes = 0;
+    }
 
     /** Root statistics group for the simulated design. */
     StatGroup &stats() { return _stats; }
@@ -225,9 +302,22 @@ class Simulator
     /** Tick+commit with per-phase host-time attribution. */
     void stepPhasesProfiled();
 
+    /** Event-kernel tick+commit: wheel drain, awake scan, dirty commit. */
+    void stepPhasesEvent();
+
+    /** Wheel-arm a wake with dedup and planted-fault accounting. */
+    void scheduleWake(Module *m, Cycle at);
+
     Cycle _cycle = 0;
+    SimKernel _kernel = SimKernel::Tick;
     std::vector<Module *> _modules;
     std::vector<Committable *> _commits;
+    WakeWheel _wheel;
+    std::vector<Committable *> _dirtyCommits;
+    bool _inTickPhase = false;
+    std::size_t _cursor = 0; ///< index of the module currently ticking
+    u64 _plantLostWakePeriod = 0;
+    u64 _scheduledWakes = 0;
     std::vector<StallAccount *> _stallAccounts;
     StatGroup _stats{"soc"};
     TraceSink *_trace = nullptr;

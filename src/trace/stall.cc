@@ -41,8 +41,9 @@ StallAccount::account(StallClass c)
             _current = c;
         }
     } else {
-        _counts[static_cast<std::size_t>(StallClass::Idle)] +=
+        _counts[static_cast<std::size_t>(_gapClass)] +=
             now - _nextUnaccounted;
+        _gapClass = StallClass::Idle;
         ++_counts[static_cast<std::size_t>(c)];
         _nextUnaccounted = now + 1;
         _current = c;
@@ -55,7 +56,10 @@ void
 StallAccount::publish(StatGroup &module_group, Cycle now)
 {
     if (now > _nextUnaccounted) {
-        _counts[static_cast<std::size_t>(StallClass::Idle)] +=
+        // Backfill up to now. While a module sleeps under the event
+        // kernel _gapClass carries its parked classification; it stays
+        // set because the module is still inside the same gap.
+        _counts[static_cast<std::size_t>(_gapClass)] +=
             now - _nextUnaccounted;
         _nextUnaccounted = now;
     }
@@ -86,9 +90,9 @@ StallAccount::dumpState(std::ostream &os, Cycle now) const
     os << "  " << _name << ": last=" << stallClassName(_current);
     for (std::size_t i = 0; i < kNumStallClasses; ++i) {
         u64 n = _counts[i];
-        if (static_cast<StallClass>(i) == StallClass::Idle &&
+        if (static_cast<StallClass>(i) == _gapClass &&
             now > _nextUnaccounted) {
-            n += now - _nextUnaccounted; // implied idle tail
+            n += now - _nextUnaccounted; // implied unaccounted tail
         }
         os << " " << stallClassName(static_cast<StallClass>(i)) << "="
            << n;

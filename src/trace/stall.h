@@ -83,6 +83,19 @@ class StallAccount
     /** One-line state dump for hang diagnostics (no mutation). */
     void dumpState(std::ostream &os, Cycle now) const;
 
+    /**
+     * Class used to backfill unclassified gaps (default Idle). The
+     * event kernel sets this when a module goes quiescent: the slept
+     * cycles are attributed to the class the module was accounting
+     * when it slept — exactly what the tick kernel, ticking the module
+     * through the same uneventful span, would have accounted — so both
+     * kernels publish identical taxonomies. account() resets it to
+     * Idle after consuming a gap, matching the lazy-Idle default for
+     * modules that classify sparsely while awake.
+     */
+    void setGapClass(StallClass c) { _gapClass = c; }
+    StallClass gapClass() const { return _gapClass; }
+
     const std::string &name() const { return _name; }
 
     /** Raw count (excludes the not-yet-backfilled Idle tail). */
@@ -98,6 +111,7 @@ class StallAccount
     std::array<u64, kNumStallClasses> _emitted{};
     Cycle _nextUnaccounted = 0; ///< first cycle not yet classified
     StallClass _current = StallClass::Idle;
+    StallClass _gapClass = StallClass::Idle;
 };
 
 } // namespace beethoven

@@ -28,6 +28,7 @@ failKindName(FailKind k)
       case FailKind::Violation:  return "violation";
       case FailKind::Hang:       return "hang";
       case FailKind::Mismatch:   return "mismatch";
+      case FailKind::Divergence: return "divergence";
     }
     return "?";
 }
@@ -147,10 +148,10 @@ launchOp(const FuzzCase &c, std::size_t op_idx, fpga_handle_t &handle,
     }
 }
 
-} // namespace
-
+/** One elaborate-run-check pass under a single kernel. */
 FuzzResult
-runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
+runFuzzCaseOnce(const FuzzCase &c, const FuzzOptions &opt,
+                SimKernel kernel)
 {
     FuzzResult res;
     std::optional<FuzzPlatform> platform;
@@ -163,6 +164,9 @@ runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
         res.message = e.what();
         return res;
     }
+    soc->sim().setKernel(kernel);
+    if (c.plantLostWake != 0)
+        soc->sim().plantLostWakes(c.plantLostWake);
 
     RuntimeServer server(*soc);
     fpga_handle_t handle(server);
@@ -180,6 +184,13 @@ runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
         r.cycles = soc->sim().cycle();
         r.axiEvents = inv.axiEventsSeen();
         r.responses = inv.responsesSeen();
+        // The digest the differential mode compares: the entire stats
+        // tree (stall accounts published) plus the final cycle.
+        soc->sim().publishStallStats();
+        std::ostringstream digest;
+        soc->sim().stats().dumpJson(digest);
+        digest << "@" << static_cast<unsigned long long>(r.cycles);
+        r.statsDigest = digest.str();
         return r;
     };
 
@@ -249,6 +260,67 @@ runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
             res.kind = FailKind::Violation;
     }
     return finalize(res);
+}
+
+/** Index of the first byte where @p a and @p b differ. */
+std::size_t
+firstDiff(const std::string &a, const std::string &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+}
+
+} // namespace
+
+FuzzResult
+runFuzzCase(const FuzzCase &c, const FuzzOptions &opt)
+{
+    if (!opt.differential)
+        return runFuzzCaseOnce(c, opt, opt.kernel);
+
+    // Differential mode: the tick kernel is the reference semantics,
+    // the event kernel the optimization under test. Any observable
+    // difference — outcome kind, final cycle, or a single byte of the
+    // stats digest — is a Divergence.
+    const FuzzResult tick = runFuzzCaseOnce(c, opt, SimKernel::Tick);
+    const FuzzResult event = runFuzzCaseOnce(c, opt, SimKernel::Event);
+    if (tick.kind == event.kind && tick.cycles == event.cycles &&
+        tick.statsDigest == event.statsDigest)
+        return tick;
+
+    FuzzResult res = event;
+    res.kind = FailKind::Divergence;
+    std::ostringstream os;
+    os << "tick/event kernels diverged:";
+    if (tick.kind != event.kind) {
+        os << " kind " << failKindName(tick.kind) << " vs "
+           << failKindName(event.kind);
+    }
+    if (tick.cycles != event.cycles) {
+        os << " cycles "
+           << static_cast<unsigned long long>(tick.cycles) << " vs "
+           << static_cast<unsigned long long>(event.cycles);
+    }
+    if (tick.statsDigest != event.statsDigest) {
+        const std::size_t at =
+            firstDiff(tick.statsDigest, event.statsDigest);
+        os << " stats digest first differs at byte " << at;
+        const std::string ctx =
+            tick.statsDigest.substr(at > 40 ? at - 40 : 0, 80);
+        os << " (tick context: ..." << ctx << "...)";
+    }
+    if (!tick.message.empty() || !event.message.empty()) {
+        os << "; tick: "
+           << (tick.message.empty() ? "ok" : tick.message)
+           << "; event: "
+           << (event.message.empty() ? "ok" : event.message);
+    }
+    res.message = os.str();
+    return res;
 }
 
 // --- Shrinking --------------------------------------------------------
@@ -484,6 +556,8 @@ fuzzCaseToJson(const FuzzCase &c)
        << (c.plantLintViolation ? "true" : "false") << ",\n";
     os << "  \"plant_power_violation\": "
        << (c.plantPowerViolation ? "true" : "false") << ",\n";
+    os << "  \"plant_lost_wake\": \"" << u64Str(c.plantLostWake)
+       << "\",\n";
     const FuzzPlatformKnobs &p = c.platform;
     os << "  \"platform\": {\"n_slrs\": " << p.nSlrs
        << ", \"noc_fanout\": " << p.nocFanout
@@ -541,6 +615,12 @@ fuzzCaseFromJson(const std::string &text)
     // Optional likewise (predates the power ledger).
     if (const JsonValue *v = root.find("plant_power_violation"))
         c.plantPowerViolation = v->isBool() && v->boolean;
+    // Optional likewise (predates the event kernel).
+    if (const JsonValue *v = root.find("plant_lost_wake")) {
+        if (v->isString())
+            c.plantLostWake =
+                std::strtoull(v->string.c_str(), nullptr, 10);
+    }
 
     const JsonValue &p = member(root, "platform");
     c.platform.nSlrs = asUnsigned(p, "n_slrs");

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "sim/simulator.h"
 #include "verify/random_soc.h"
 
 namespace beethoven::verify
@@ -30,6 +31,7 @@ enum class FailKind {
     Violation,      ///< a live invariant fired
     Hang,           ///< watchdog or max-cycles budget exceeded
     Mismatch,       ///< memory or response payload differs from golden
+    Divergence,     ///< tick and event kernels disagreed (differential)
 };
 
 const char *failKindName(FailKind k);
@@ -38,6 +40,11 @@ struct FuzzOptions
 {
     Cycle maxCycles = 2'000'000;  ///< overall per-case cycle budget
     Cycle watchdogCycles = 50'000; ///< no-progress limit
+    SimKernel kernel = SimKernel::Tick; ///< kernel for the single run
+    /** Run the case under BOTH kernels and compare outcome kind, final
+     *  cycle and the full stats digest; any difference is classified
+     *  FailKind::Divergence (and shrinks like any other kind). */
+    bool differential = false;
 };
 
 struct FuzzResult
@@ -47,6 +54,9 @@ struct FuzzResult
     Cycle cycles = 0;    ///< simulated cycles consumed
     u64 axiEvents = 0;   ///< AXI beats checked live
     u64 responses = 0;   ///< responses collected
+    /** Stats-tree JSON + "@" + final cycle: the bit-identity witness
+     *  the differential mode compares across kernels. */
+    std::string statsDigest;
 };
 
 /** Elaborate, run, and check one case. Never throws. */

@@ -94,6 +94,11 @@ struct FuzzCase
      *  ledger so the energy-conservation invariant's catch path is
      *  provable end to end from a replayable case. */
     bool plantPowerViolation = false;
+    /** Test-only: drop every Nth event-kernel wake schedule (0 = off)
+     *  so the differential harness's lost-wake catch path is provable
+     *  end to end from a replayable case. Only meaningful under
+     *  --differential: the tick kernel never schedules wakes. */
+    u64 plantLostWake = 0;
 };
 
 /** The simulation platform reshaped by a FuzzCase's knobs. */

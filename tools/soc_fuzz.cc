@@ -12,7 +12,8 @@
  *   soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]
  *            [--max-ops=N] [--repro-out=PATH] [--no-shrink]
  *            [--plant-violation] [--plant-lint-violation]
- *            [--replay=PATH] [--verbose]
+ *            [--differential] [--sim-kernel=tick|event]
+ *            [--plant-lost-wake=N] [--replay=PATH] [--verbose]
  *
  * Every sampled case is cross-checked against the composition linter
  * (src/lint/) before it runs; a sampled case with error-severity
@@ -45,6 +46,8 @@ usage(std::ostream &os)
           "                [--max-ops=N] [--repro-out=PATH] [--no-shrink]\n"
           "                [--plant-violation] [--plant-lint-violation]\n"
           "                [--plant-power-violation]\n"
+          "                [--differential] [--sim-kernel=tick|event]\n"
+          "                [--plant-lost-wake=N]\n"
           "                [--replay=PATH] [--verbose]\n"
           "\n"
           "  --seed=N            base RNG seed (default 1)\n"
@@ -64,6 +67,15 @@ usage(std::ostream &os)
           "                      plant a phantom energy leak in every\n"
           "                      case's power ledger (self-test of the\n"
           "                      energy-conservation invariant)\n"
+          "  --differential      run every case under BOTH simulation\n"
+          "                      kernels (tick and event) and fail on\n"
+          "                      any digest/cycle/outcome divergence\n"
+          "  --sim-kernel=K      kernel for non-differential runs:\n"
+          "                      tick (default) or event\n"
+          "  --plant-lost-wake=N drop every Nth event-kernel wake\n"
+          "                      schedule in every case (self-test of\n"
+          "                      the differential catch path; implies\n"
+          "                      nothing under the tick kernel)\n"
           "  --replay=PATH       run one case from a repro file instead\n"
           "                      of sampling\n"
           "  --verbose           per-iteration progress lines\n";
@@ -105,19 +117,35 @@ main(int argc, char **argv)
     bool plant = false;
     bool plant_lint = false;
     bool plant_power = false;
+    u64 plant_lost_wake = 0;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         u64 v = 0;
+        std::string kernel_name;
         if (parseU64Flag(arg, "seed", seed) ||
             parseU64Flag(arg, "iterations", iterations) ||
             parseU64Flag(arg, "max-ops", max_ops) ||
+            parseU64Flag(arg, "plant-lost-wake", plant_lost_wake) ||
             parseStringFlag(arg, "repro-out", repro_out) ||
             parseStringFlag(arg, "replay", replay_path)) {
             continue;
         } else if (parseU64Flag(arg, "max-cycles", v)) {
             opt.maxCycles = v;
+        } else if (parseStringFlag(arg, "sim-kernel", kernel_name)) {
+            if (kernel_name == "tick") {
+                opt.kernel = SimKernel::Tick;
+            } else if (kernel_name == "event") {
+                opt.kernel = SimKernel::Event;
+            } else {
+                std::cerr << "soc_fuzz: bad --sim-kernel '"
+                          << kernel_name
+                          << "' (expected tick or event)\n";
+                return 2;
+            }
+        } else if (arg == "--differential") {
+            opt.differential = true;
         } else if (arg == "--no-shrink") {
             do_shrink = false;
         } else if (arg == "--plant-violation") {
@@ -167,6 +195,7 @@ main(int argc, char **argv)
         c.plantViolation = plant;
         c.plantLintViolation = plant_lint;
         c.plantPowerViolation = plant_power;
+        c.plantLostWake = plant_lost_wake;
 
         // Cross-check the sampler against the composition linter:
         // every sampled case must be lint-clean (no error-severity

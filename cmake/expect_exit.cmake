@@ -7,6 +7,9 @@
 #
 #   cmake -DCMD="json_check missing.json" -DEXPECTED=1
 #         -P expect_exit.cmake
+#
+# Optional: -DSTDOUT_FILE=path captures the command's stdout to a file
+# (for fixture chains that validate a tool's emitted document).
 
 if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
     message(FATAL_ERROR "expect_exit.cmake needs -DCMD=... -DEXPECTED=N")
@@ -17,6 +20,10 @@ execute_process(COMMAND ${cmd_list}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
+
+if(DEFINED STDOUT_FILE)
+    file(WRITE "${STDOUT_FILE}" "${out}")
+endif()
 
 if(NOT rc EQUAL "${EXPECTED}")
     message(FATAL_ERROR

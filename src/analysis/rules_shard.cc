@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shard-readiness rules (the "shard" layer, BTH110–BTH112).
+ *
+ * The SoC stamps a candidate partition into the graph record — host,
+ * one shard per SLR, and memory, split at the NoC/AXI boundaries the
+ * way Sniper parallelizes multicore simulation — and these rules audit
+ * what stands in the way of running the shards on separate threads:
+ * mutable state reachable from more than one shard, and modules the
+ * partition does not cover. Findings are warnings/notes, never errors:
+ * they are the work-list for the parallel-sharding PR, not defects in
+ * today's single-threaded simulation.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "lint/lint.h"
+
+namespace beethoven
+{
+namespace analysis
+{
+
+namespace
+{
+
+using lint::DiagnosticReport;
+
+std::string
+shardName(const SimGraph &g, int id)
+{
+    for (const GraphShard &s : g.shards) {
+        if (s.id == id)
+            return s.name;
+    }
+    return "shard" + std::to_string(id);
+}
+
+/** BTH110: mutable state reachable from more than one shard. */
+void
+ruleCrossShardState(const SimGraph &g, const lint::CompositionModel *,
+                    DiagnosticReport &rep)
+{
+    if (g.shards.size() < 2)
+        return; // no candidate partition to audit
+    for (const GraphSharedState &st : g.sharedStates) {
+        std::set<int> shards;
+        if (st.spansAllShards) {
+            for (const GraphShard &s : g.shards)
+                shards.insert(s.id);
+        } else {
+            for (int a : st.accessors) {
+                if (g.modules[a].shard != kNoShard)
+                    shards.insert(g.modules[a].shard);
+            }
+            for (int s : st.extraShards)
+                shards.insert(s);
+        }
+        if (shards.size() <= 1)
+            continue;
+        std::string names;
+        for (int s : shards)
+            names += (names.empty() ? "" : ", ") + shardName(g, s);
+        auto &d = rep.add("BTH110", st.name,
+                          st.kind + " state '" + st.name +
+                              "' (registered at " + st.site +
+                              ") is reachable from shards {" + names +
+                              "}");
+        d.note = "under a threaded kernel every access becomes a data "
+                 "race; shard it, replicate-and-reduce it, or fence "
+                 "it behind the owning shard";
+    }
+}
+
+/** BTH111: queue edges crossing the partition, per shard pair. */
+void
+ruleCrossingEdges(const SimGraph &g, const lint::CompositionModel *,
+                  DiagnosticReport &rep)
+{
+    if (g.shards.size() < 2)
+        return;
+    std::map<std::pair<int, int>, std::size_t> crossings;
+    for (const GraphEdge &e : g.edges) {
+        if (e.producer == kNoIndex || e.consumer == kNoIndex)
+            continue;
+        const int ps = g.modules[e.producer].shard;
+        const int cs = g.modules[e.consumer].shard;
+        if (ps == kNoShard || cs == kNoShard || ps == cs)
+            continue;
+        ++crossings[{ps, cs}];
+    }
+    for (const auto &[pair, count] : crossings) {
+        auto &d = rep.add(
+            "BTH111",
+            shardName(g, pair.first) + "->" + shardName(g, pair.second),
+            std::to_string(count) + " queue edge(s) cross from shard '" +
+                shardName(g, pair.first) + "' to shard '" +
+                shardName(g, pair.second) + "'");
+        d.note = "these queues become the inter-shard message "
+                 "channels; their wake hooks must turn into "
+                 "cross-thread notifications";
+    }
+}
+
+/** BTH112: modules the candidate partition does not cover. */
+void
+rulePartitionCoverage(const SimGraph &g, const lint::CompositionModel *,
+                      DiagnosticReport &rep)
+{
+    if (g.shards.size() < 2)
+        return;
+    for (const GraphModule &m : g.modules) {
+        if (m.shard != kNoShard)
+            continue;
+        auto &d = rep.add("BTH112", m.name,
+                          "module '" + m.name + "' (role '" + m.role +
+                              "') is not assigned to any shard");
+        d.note = "an unassigned module has no owning thread in the "
+                 "sharded kernel; extend the partition in "
+                 "AcceleratorSoc::assignShards";
+    }
+}
+
+} // namespace
+
+const std::vector<GraphRuleEntry> &
+shardRules()
+{
+    static const std::vector<GraphRuleEntry> rules = {
+        {"cross-shard-state", "shard", ruleCrossShardState},
+        {"crossing-edges", "shard", ruleCrossingEdges},
+        {"partition-coverage", "shard", rulePartitionCoverage},
+    };
+    return rules;
+}
+
+} // namespace analysis
+} // namespace beethoven

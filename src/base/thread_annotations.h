@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros (no-ops elsewhere).
+ *
+ * The simulator is single-threaded today, but ROADMAP item 2 shards
+ * the SoC across threads. These macros let us state the ownership
+ * contract now — which state belongs to the simulation thread — so
+ * clang's -Wthread-safety analysis can check the sharded kernel
+ * against the same declarations later. Under gcc (the default
+ * toolchain) every macro expands to nothing.
+ */
+
+#ifndef BEETHOVEN_BASE_THREAD_ANNOTATIONS_H
+#define BEETHOVEN_BASE_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BTH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BTH_THREAD_ANNOTATION
+#define BTH_THREAD_ANNOTATION(x)
+#endif
+
+#define BTH_CAPABILITY(x) BTH_THREAD_ANNOTATION(capability(x))
+#define BTH_GUARDED_BY(x) BTH_THREAD_ANNOTATION(guarded_by(x))
+#define BTH_REQUIRES(...) \
+    BTH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BTH_ACQUIRE(...) \
+    BTH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BTH_RELEASE(...) \
+    BTH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BTH_ASSERT_CAPABILITY(x) \
+    BTH_THREAD_ANNOTATION(assert_capability(x))
+
+namespace beethoven
+{
+
+/**
+ * The simulation thread, modeled as a capability. Event-kernel state
+ * (the wake wheel, the dirty-commit list, the tick cursor) is
+ * GUARDED_BY this role; the public Simulator entry points assert it,
+ * private phase helpers REQUIRE it. Today a process-wide token; the
+ * sharded kernel will hold one per shard.
+ */
+class BTH_CAPABILITY("sim-thread") ThreadRole
+{
+  public:
+    /** Entry-point assertion that the calling thread owns this role. */
+    void assertHeld() const BTH_ASSERT_CAPABILITY(this) {}
+};
+
+/** The (single) simulation thread role; defined in sim/simulator.cc. */
+extern ThreadRole gSimThreadRole;
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_BASE_THREAD_ANNOTATIONS_H

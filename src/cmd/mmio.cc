@@ -29,6 +29,8 @@ MmioCommandSystem::MmioCommandSystem(Simulator &sim, std::string name,
         sim.stats().group(Module::name()).histogram("cmdLatency");
     h.configure(64, 16.0);
     _cmdLatency = &h;
+    declareRole("mmio");
+    declareSleepable();
     _cmdOut.setWakeOnPop(this);
     _respIn.setWakeOnPush(this);
 }

@@ -12,6 +12,7 @@ AcceleratorCore::AcceleratorCore(const CoreContext &ctx)
     beethoven_assert(_ctx.systemConfig != nullptr,
                      "core %s constructed without a system config",
                      name().c_str());
+    declareRole("core");
     for (u32 id = 0; id < _ctx.systemConfig->commands.size(); ++id) {
         _assemblers.emplace(
             id, CommandAssembler(_ctx.systemConfig->commands[id]));

@@ -37,6 +37,7 @@
 #include "core/config.h"
 #include "dram/controller.h"
 #include "floorplan/floorplan.h"
+#include "lint/diagnostic.h"
 #include "noc/tree.h"
 #include "platform/platform.h"
 
@@ -73,6 +74,7 @@ class AcceleratorSoc
     AcceleratorSoc &operator=(const AcceleratorSoc &) = delete;
 
     Simulator &sim() { return _sim; }
+    const Simulator &sim() const { return _sim; }
     FunctionalMemory &memory() { return _mem; }
     MmioCommandSystem &mmio() { return *_mmio; }
     DramController &dram() { return *_dram; }
@@ -128,6 +130,15 @@ class AcceleratorSoc
      */
     PowerLedger &power();
 
+    /**
+     * Run the simulation-graph analyzer (src/analysis/, DESIGN.md §5d)
+     * over this SoC's elaborated graph and composition model. The
+     * constructor already ran it and failed on errors (unless deferred
+     * via analysis::ScopedDeferGraphValidation); call this to get the
+     * full report including warnings and notes.
+     */
+    lint::DiagnosticReport analyzeGraph() const;
+
   private:
     struct SystemInstance;
 
@@ -144,6 +155,13 @@ class AcceleratorSoc
     void buildTraceProbe();
     void registerHangDumpers();
     void buildPowerLedger();
+
+    /** Stamp the candidate shard partition into the graph record. */
+    void assignShards();
+    /** Register cross-module mutable state for the shard audit. */
+    void registerSharedState();
+    /** Constructor-tail graph analysis; fatal on contract errors. */
+    void validateGraph();
 
     AcceleratorConfig _config;
     const Platform &_platform;

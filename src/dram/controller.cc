@@ -33,6 +33,9 @@ DramController::DramController(Simulator &sim, std::string name,
     _writeLatency = &g.histogram("writeLatency");
     _writeLatency->configure(64, 16.0);
     _nextRefreshAt = cfg.timing.tREFI;
+    declareRole("dram");
+    declareSleepable();
+    declareSelfWake();
     // Event-kernel wiring: new requests and drained output ports wake
     // the controller; refresh timing is self-armed at sleep.
     _arIn.setWakeOnPush(this);

@@ -83,6 +83,30 @@ diagnosticRegistry()
          "core logic estimate does not fit on any SLR"},
         {"BTH051", "placement", Severity::Error,
          "aggregate core logic exceeds total device capacity"},
+        // --- graph layer (simulation-graph analyzer, §5d) ----------
+        {"BTH100", "graph", Severity::Error,
+         "sleepable consumer without an armed push-wake"},
+        {"BTH101", "graph", Severity::Error,
+         "push-wake armed to a module other than the declared "
+         "consumer"},
+        {"BTH102", "graph", Severity::Error,
+         "sleepable module with no reachable wake source"},
+        {"BTH103", "graph", Severity::Error,
+         "self-wake declared without a sleep site"},
+        {"BTH104", "graph", Severity::Error,
+         "zero-latency wake cycle (same-cycle livelock)"},
+        {"BTH105", "graph", Severity::Warning,
+         "self-wake loop: module is both producer and consumer of a "
+         "wake-armed queue"},
+        {"BTH106", "graph", Severity::Error,
+         "module census disagrees with the composition model"},
+        // --- shard layer (shard-readiness audit, §5d) --------------
+        {"BTH110", "shard", Severity::Warning,
+         "mutable state reachable from more than one shard"},
+        {"BTH111", "shard", Severity::Note,
+         "queue edges cross a shard boundary"},
+        {"BTH112", "shard", Severity::Warning,
+         "module not covered by the shard partition"},
     };
     return registry;
 }

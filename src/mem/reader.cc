@@ -33,6 +33,8 @@ Reader::Reader(Simulator &sim, std::string name,
     _statTxns = &g.scalar("transactions");
     _streamCycles = &g.histogram("streamCycles");
     _streamCycles->configure(64, 64.0);
+    declareRole("reader");
+    declareSleepable();
     // Event-kernel wiring: every condition a blocked tick waits on is
     // a queue event on one of these four ports.
     _cmdQ.setWakeOnPush(this);

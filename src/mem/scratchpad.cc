@@ -19,6 +19,8 @@ Scratchpad::Scratchpad(Simulator &sim, std::string name,
       _stall(sim, Module::name())
 {
     beethoven_assert(params.nPorts >= 1, "scratchpad with zero ports");
+    declareRole("scratchpad");
+    declareSleepable();
     if (params.supportsInit) {
         beethoven_assert(init_reader != nullptr,
                          "scratchpad %s supports init but has no reader",

@@ -34,6 +34,8 @@ Writer::Writer(Simulator &sim, std::string name,
     _statTxns = &g.scalar("transactions");
     _streamCycles = &g.histogram("streamCycles");
     _streamCycles->configure(64, 64.0);
+    declareRole("writer");
+    declareSleepable();
     // Event-kernel wiring: every condition a blocked tick waits on is
     // a queue event on one of these five ports.
     _cmdQ.setWakeOnPush(this);

@@ -65,6 +65,8 @@ class MuxNode : public Module
         : Module(sim, std::move(name)), _out(out), _lock(std::move(lock)),
           _flits(flits), _stall(sim, Module::name())
     {
+        declareRole("noc-mux");
+        declareSleepable();
         _out->setWakeOnPop(this);
     }
 
@@ -172,6 +174,8 @@ class DemuxNode : public Module
         : Module(sim, std::move(name)), _in(in), _key(std::move(key)),
           _flits(flits), _stall(sim, Module::name())
     {
+        declareRole("noc-demux");
+        declareSleepable();
         _in->setWakeOnPush(this);
     }
 
@@ -225,6 +229,8 @@ class QueuePump : public Module
         : Module(sim, std::move(name)), _src(src), _dst(dst),
           _stall(sim, Module::name())
     {
+        declareRole("pump");
+        declareSleepable();
         _src->setWakeOnPush(this);
         _dst->setWakeOnPop(this);
     }
@@ -288,7 +294,8 @@ class MuxTree
         for (std::size_t i = 0; i < endpoint_slr.size(); ++i)
             by_slr[endpoint_slr[i]].push_back(i);
 
-        auto *root = makeNode(sim, name + ".root", out, lock);
+        auto *root = makeNode(sim, name + ".root", out, lock, root_slr,
+                              /*is_root=*/true);
         for (auto &[slr, endpoints] : by_slr) {
             // The SLR subtree feeds the root through a link that models
             // the SLR-crossing buffers when slr != root_slr. Crossing
@@ -306,8 +313,9 @@ class MuxTree
                 ++_stats.slrCrossings;
             root->addInput(link);
             buildSubtree(sim, name + ".slr" + std::to_string(slr),
-                         endpoints, params, link, lock);
+                         endpoints, params, link, lock, slr);
         }
+        registerFlitCounterState(sim, name);
     }
 
     /** The queue endpoint @p idx pushes its flits into. */
@@ -344,13 +352,47 @@ class MuxTree
             fn(_linkNames[i], _queues[i]->occupancy());
     }
 
+    /**
+     * Visit each internal node as (module, SLR, is_root). The root
+     * lives on the consumer's SLR; the shard-readiness audit uses this
+     * to place tree nodes in the candidate partition.
+     */
+    void
+    visitNodes(const std::function<void(Module &, unsigned, bool)> &fn)
+        const
+    {
+        for (const NodeInfo &info : _nodeInfos)
+            fn(*info.module, info.slr, info.isRoot);
+    }
+
   private:
+    struct NodeInfo
+    {
+        Module *module;
+        unsigned slr;
+        bool isRoot;
+    };
+
+    /** Note the tree-wide flits counter as cross-node shared state. */
+    void
+    registerFlitCounterState(Simulator &sim, const std::string &name)
+    {
+        SimGraphRecord::SharedState st;
+        st.name = name + ".flits";
+        st.kind = "stat";
+        st.site = std::source_location::current();
+        for (const NodeInfo &info : _nodeInfos)
+            st.accessors.push_back(info.module);
+        sim.graphRecord().addSharedState(std::move(st));
+    }
+
     MuxNode<F, Lock> *
     makeNode(Simulator &sim, const std::string &name, TimedQueue<F> *out,
-             const Lock &lock)
+             const Lock &lock, unsigned slr, bool is_root)
     {
         _nodes.push_back(std::make_unique<MuxNode<F, Lock>>(
             sim, name, out, lock, _flits));
+        _nodeInfos.push_back(NodeInfo{_nodes.back().get(), slr, is_root});
         ++_stats.nodes;
         return _nodes.back().get();
     }
@@ -371,9 +413,10 @@ class MuxTree
     buildSubtree(Simulator &sim, const std::string &name,
                  const std::vector<std::size_t> &endpoints,
                  const NocParams &params, TimedQueue<F> *out,
-                 const Lock &lock)
+                 const Lock &lock, unsigned slr)
     {
-        auto *node = makeNode(sim, name, out, lock);
+        auto *node = makeNode(sim, name, out, lock, slr,
+                              /*is_root=*/false);
         if (endpoints.size() <= params.fanout) {
             for (std::size_t e : endpoints) {
                 auto *q = makeQueue(
@@ -398,11 +441,12 @@ class MuxTree
                 params.queueDepth, 1);
             node->addInput(q);
             buildSubtree(sim, name + "." + std::to_string(g), sub,
-                         params, q, lock);
+                         params, q, lock, slr);
         }
     }
 
     std::vector<std::unique_ptr<MuxNode<F, Lock>>> _nodes;
+    std::vector<NodeInfo> _nodeInfos; ///< parallel to _nodes
     std::vector<std::unique_ptr<TimedQueue<F>>> _queues;
     std::vector<std::string> _linkNames; ///< parallel to _queues
     std::vector<TimedQueue<F> *> _endpointQueues;
@@ -438,7 +482,8 @@ class DemuxTree
         for (std::size_t i = 0; i < endpoint_slr.size(); ++i)
             by_slr[endpoint_slr[i]].push_back(i);
 
-        auto *root = makeNode(sim, name + ".root", _rootQueue);
+        auto *root = makeNode(sim, name + ".root", _rootQueue, root_slr,
+                              /*is_root=*/true);
         for (auto &[slr, endpoints] : by_slr) {
             const unsigned link_latency =
                 slr == root_slr ? 1 : params.slrCrossingLatency;
@@ -453,8 +498,9 @@ class DemuxTree
             for (std::size_t e : endpoints)
                 root->addRoute(e, link);
             buildSubtree(sim, name + ".slr" + std::to_string(slr),
-                         endpoints, params, link);
+                         endpoints, params, link, slr);
         }
+        registerFlitCounterState(sim, name);
     }
 
     TimedQueue<F> &rootPort() { return *_rootQueue; }
@@ -492,12 +538,43 @@ class DemuxTree
             fn(_linkNames[i], _queues[i]->occupancy());
     }
 
+    /** Visit each internal node as (module, SLR, is_root). */
+    void
+    visitNodes(const std::function<void(Module &, unsigned, bool)> &fn)
+        const
+    {
+        for (const NodeInfo &info : _nodeInfos)
+            fn(*info.module, info.slr, info.isRoot);
+    }
+
   private:
+    struct NodeInfo
+    {
+        Module *module;
+        unsigned slr;
+        bool isRoot;
+    };
+
+    /** Note the tree-wide flits counter as cross-node shared state. */
+    void
+    registerFlitCounterState(Simulator &sim, const std::string &name)
+    {
+        SimGraphRecord::SharedState st;
+        st.name = name + ".flits";
+        st.kind = "stat";
+        st.site = std::source_location::current();
+        for (const NodeInfo &info : _nodeInfos)
+            st.accessors.push_back(info.module);
+        sim.graphRecord().addSharedState(std::move(st));
+    }
+
     DemuxNode<F> *
-    makeNode(Simulator &sim, const std::string &name, TimedQueue<F> *in)
+    makeNode(Simulator &sim, const std::string &name, TimedQueue<F> *in,
+             unsigned slr, bool is_root)
     {
         _nodes.push_back(
             std::make_unique<DemuxNode<F>>(sim, name, in, _key, _flits));
+        _nodeInfos.push_back(NodeInfo{_nodes.back().get(), slr, is_root});
         ++_stats.nodes;
         return _nodes.back().get();
     }
@@ -516,9 +593,9 @@ class DemuxTree
     void
     buildSubtree(Simulator &sim, const std::string &name,
                  const std::vector<std::size_t> &endpoints,
-                 const NocParams &params, TimedQueue<F> *in)
+                 const NocParams &params, TimedQueue<F> *in, unsigned slr)
     {
-        auto *node = makeNode(sim, name, in);
+        auto *node = makeNode(sim, name, in, slr, /*is_root=*/false);
         if (endpoints.size() <= params.fanout) {
             for (std::size_t e : endpoints) {
                 auto *q = makeQueue(
@@ -543,13 +620,14 @@ class DemuxTree
             for (std::size_t e : sub)
                 node->addRoute(e, q);
             buildSubtree(sim, name + "." + std::to_string(g), sub,
-                         params, q);
+                         params, q, slr);
         }
     }
 
     KeyFn _key;
     TimedQueue<F> *_rootQueue = nullptr;
     std::vector<std::unique_ptr<DemuxNode<F>>> _nodes;
+    std::vector<NodeInfo> _nodeInfos; ///< parallel to _nodes
     std::vector<std::unique_ptr<TimedQueue<F>>> _queues;
     std::vector<std::string> _linkNames; ///< parallel to _queues
     std::vector<TimedQueue<F> *> _endpointQueues;

@@ -20,6 +20,7 @@
 #ifndef BEETHOVEN_SIM_MODULE_H
 #define BEETHOVEN_SIM_MODULE_H
 
+#include <source_location>
 #include <string>
 
 #include "base/types.h"
@@ -91,6 +92,31 @@ class Module
      */
     void sleepWith(StallAccount &acct, StallClass gap_class);
 
+    /**
+     * Declare (in the simulator's graph record) that this module may
+     * sleep. The static analyzer uses the declaration to demand a
+     * reachable wake source (BTH100/BTH102, DESIGN.md §5d); the first
+     * requestSleep/sleepWith asserts it was made, so declaration and
+     * behaviour cannot skew. Call once from the constructor.
+     */
+    void declareSleepable(
+        std::source_location loc = std::source_location::current());
+
+    /**
+     * Declare that this module self-arms wakes via requestWakeAt
+     * (e.g. DRAM refresh). The analyzer pairs the declaration with a
+     * sleep site (BTH103); requestWakeAt asserts it was made.
+     */
+    void declareSelfWake(
+        std::source_location loc = std::source_location::current());
+
+    /**
+     * Name this module's structural role ("reader", "noc-mux", ...)
+     * for the analyzer's census against the composition model
+     * (BTH106). Undeclared modules keep the ignored default "module".
+     */
+    void declareRole(const char *role);
+
   private:
     friend class Simulator;
 
@@ -100,6 +126,8 @@ class Module
     bool _awake = true;
     /** Dedup guard: last wheel cycle a wake was armed for (0 = none). */
     Cycle _lastScheduledWake = 0;
+    bool _sleepDeclared = false;
+    bool _selfWakeDeclared = false;
 };
 
 } // namespace beethoven

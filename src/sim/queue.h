@@ -20,11 +20,13 @@
 #define BEETHOVEN_SIM_QUEUE_H
 
 #include <deque>
+#include <source_location>
 #include <utility>
 #include <vector>
 
 #include "base/log.h"
 #include "base/types.h"
+#include "sim/graph_record.h"
 #include "sim/simulator.h"
 
 namespace beethoven
@@ -39,12 +41,15 @@ class TimedQueue : public Committable
      * @param capacity  maximum in-flight entries (>= 1)
      * @param latency   cycles from push to pop visibility (>= 1)
      */
-    TimedQueue(Simulator &sim, std::size_t capacity, unsigned latency = 1)
+    TimedQueue(Simulator &sim, std::size_t capacity, unsigned latency = 1,
+               std::source_location loc = std::source_location::current())
         : _sim(sim), _capacity(capacity), _latency(latency)
     {
         beethoven_assert(capacity >= 1, "queue capacity must be >= 1");
         beethoven_assert(latency >= 1, "queue latency must be >= 1");
         sim.registerCommittable(this);
+        sim.graphRecord().registerQueue(this, capacity, latency,
+                                        loc);
     }
 
     /**
@@ -55,14 +60,55 @@ class TimedQueue : public Committable
      * so a consumer that wakes early, finds nothing poppable, and
      * re-sleeps is still re-armed for the beat's arrival.
      */
-    void setWakeOnPush(Module *consumer) { _wakeOnPush = consumer; }
+    void
+    setWakeOnPush(Module *consumer,
+                  std::source_location loc = std::source_location::current())
+    {
+        // The plant (soc_fuzz --plant-wake-violation) records the
+        // consumer declaration but skips arming — exactly the lost-wake
+        // bug class BTH100 exists to catch.
+        const bool planted = consumePlantMissingPushWake();
+        if (!planted)
+            _wakeOnPush = consumer;
+        _sim.graphRecord().recordPushWake(this, consumer, !planted,
+                                          loc);
+    }
 
     /**
      * Wake @p producer whenever an entry is popped. Occupancy is
      * registered (freed space appears at cycle + 1), so the wake is
      * armed for the next cycle regardless of tick order.
      */
-    void setWakeOnPop(Module *producer) { _wakeOnPop = producer; }
+    void
+    setWakeOnPop(Module *producer,
+                 std::source_location loc = std::source_location::current())
+    {
+        _wakeOnPop = producer;
+        _sim.graphRecord().recordPopWake(this, producer, true,
+                                         loc);
+    }
+
+    /**
+     * Record-only consumer declaration for the analyzer: the consumer
+     * polls this queue every tick and needs no push wake (it never
+     * sleeps, or another armed source covers it).
+     */
+    void
+    declareConsumer(Module *consumer,
+                    std::source_location loc = std::source_location::current())
+    {
+        _sim.graphRecord().declareConsumer(this, consumer,
+                                           loc);
+    }
+
+    /** Record-only producer declaration for the analyzer. */
+    void
+    declareProducer(Module *producer,
+                    std::source_location loc = std::source_location::current())
+    {
+        _sim.graphRecord().declareProducer(this, producer,
+                                           loc);
+    }
 
     /** True if a push this cycle would be accepted. */
     bool

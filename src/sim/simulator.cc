@@ -21,6 +21,10 @@ u64 g_moduleTicks = 0;
 
 } // namespace
 
+// The single simulation thread (see base/thread_annotations.h). The
+// sharded kernel will replace this with one role per shard.
+ThreadRole gSimThreadRole;
+
 u64
 globalSimCycles()
 {
@@ -42,6 +46,9 @@ Module::Module(Simulator &sim, std::string name)
 void
 Module::requestSleep()
 {
+    beethoven_assert(_sleepDeclared,
+                     "requestSleep without declareSleepable(): the static "
+                     "analyzer cannot see this sleep site");
     if (_sim.eventKernel())
         _sim.sleepModule(this);
 }
@@ -49,16 +56,42 @@ Module::requestSleep()
 void
 Module::requestWakeAt(Cycle at)
 {
+    beethoven_assert(_selfWakeDeclared,
+                     "requestWakeAt without declareSelfWake(): the static "
+                     "analyzer cannot see this self-arm site");
     _sim.wakeAt(this, at);
 }
 
 void
 Module::sleepWith(StallAccount &acct, StallClass gap_class)
 {
+    beethoven_assert(_sleepDeclared,
+                     "sleepWith without declareSleepable(): the static "
+                     "analyzer cannot see this sleep site");
     if (!_sim.eventKernel())
         return;
     acct.setGapClass(gap_class);
     _sim.sleepModule(this);
+}
+
+void
+Module::declareSleepable(std::source_location loc)
+{
+    _sleepDeclared = true;
+    _sim.graphRecord().setSleepable(this, loc);
+}
+
+void
+Module::declareSelfWake(std::source_location loc)
+{
+    _selfWakeDeclared = true;
+    _sim.graphRecord().setSelfWake(this, loc);
+}
+
+void
+Module::declareRole(const char *role)
+{
+    _sim.graphRecord().setRole(this, role);
 }
 
 const char *
@@ -70,6 +103,7 @@ simKernelName(SimKernel k)
 void
 Simulator::setKernel(SimKernel k)
 {
+    gSimThreadRole.assertHeld();
     _kernel = k;
     if (k == SimKernel::Event) {
         // Conservative start: everything awake, quiescence re-forms as
@@ -84,6 +118,7 @@ Simulator::setKernel(SimKernel k)
 void
 Simulator::wakeNow(Module *m)
 {
+    gSimThreadRole.assertHeld();
     if (_kernel != SimKernel::Event || m->_awake)
         return;
     if (_inTickPhase && m->_index <= _cursor) {
@@ -99,6 +134,7 @@ Simulator::wakeNow(Module *m)
 void
 Simulator::wakeAt(Module *m, Cycle at)
 {
+    gSimThreadRole.assertHeld();
     if (_kernel != SimKernel::Event)
         return;
     if (at <= _cycle) {
@@ -205,6 +241,7 @@ Simulator::stepPhasesProfiled()
 void
 Simulator::step()
 {
+    gSimThreadRole.assertHeld();
     // KPI-only profiling (the bare --perf-json heartbeat) never reads
     // per-module clocks, so it composes with the event kernel: advance
     // the heartbeat and take the quiescence-aware step. Sampling and

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
+#include "sim/graph_record.h"
 #include "sim/module.h"
 #include "sim/wake_wheel.h"
 
@@ -91,7 +93,16 @@ class Simulator
     {
         m->_index = _modules.size();
         _modules.push_back(m);
+        _graph.noteModule(m);
     }
+
+    /**
+     * The registration-time connectivity record consumed by the static
+     * analyzer (src/analysis/, DESIGN.md §5d). Metadata only — never
+     * read on the simulation fast path.
+     */
+    SimGraphRecord &graphRecord() { return _graph; }
+    const SimGraphRecord &graphRecord() const { return _graph; }
 
     /** Register a queue (or other state) for end-of-cycle commits. */
     void registerCommittable(Committable *c) { _commits.push_back(c); }
@@ -153,13 +164,21 @@ class Simulator
      * Callers must not re-mark until the next cycle (guard with their
      * own dirty flag).
      */
-    void markDirty(Committable *c) { _dirtyCommits.push_back(c); }
+    void markDirty(Committable *c)
+    {
+        gSimThreadRole.assertHeld();
+        _dirtyCommits.push_back(c);
+    }
 
     /** Modules awake right now (the event kernel's active set size). */
     std::size_t activeModules() const;
 
     /** Wakes armed on the wheel and not yet delivered. */
-    std::size_t pendingWakes() const { return _wheel.pending(); }
+    std::size_t pendingWakes() const
+    {
+        gSimThreadRole.assertHeld();
+        return _wheel.pending();
+    }
 
     /**
      * Fault injection for the differential harness: silently drop
@@ -300,22 +319,23 @@ class Simulator
 
   private:
     /** Tick+commit with per-phase host-time attribution. */
-    void stepPhasesProfiled();
+    void stepPhasesProfiled() BTH_REQUIRES(gSimThreadRole);
 
     /** Event-kernel tick+commit: wheel drain, awake scan, dirty commit. */
-    void stepPhasesEvent();
+    void stepPhasesEvent() BTH_REQUIRES(gSimThreadRole);
 
     /** Wheel-arm a wake with dedup and planted-fault accounting. */
-    void scheduleWake(Module *m, Cycle at);
+    void scheduleWake(Module *m, Cycle at) BTH_REQUIRES(gSimThreadRole);
 
     Cycle _cycle = 0;
     SimKernel _kernel = SimKernel::Tick;
     std::vector<Module *> _modules;
     std::vector<Committable *> _commits;
-    WakeWheel _wheel;
-    std::vector<Committable *> _dirtyCommits;
-    bool _inTickPhase = false;
-    std::size_t _cursor = 0; ///< index of the module currently ticking
+    WakeWheel _wheel BTH_GUARDED_BY(gSimThreadRole);
+    std::vector<Committable *> _dirtyCommits BTH_GUARDED_BY(gSimThreadRole);
+    bool _inTickPhase BTH_GUARDED_BY(gSimThreadRole) = false;
+    /** Index of the module currently ticking. */
+    std::size_t _cursor BTH_GUARDED_BY(gSimThreadRole) = 0;
     u64 _plantLostWakePeriod = 0;
     u64 _scheduledWakes = 0;
     std::vector<StallAccount *> _stallAccounts;
@@ -331,6 +351,13 @@ class Simulator
     Cycle _lastProgress = 0;
     std::vector<std::function<void(std::ostream &)>> _hangDumpers;
     std::vector<Invariant *> _invariants;
+
+    /**
+     * Registration-time metadata for the static analyzer; cold after
+     * elaboration, so kept past the per-cycle state above to leave the
+     * step loop's working set contiguous.
+     */
+    SimGraphRecord _graph;
 
     /** Cycles between stall counter-track emissions while tracing. */
     static constexpr Cycle kStallEmitPeriod = 1024;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "base/log.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 
 namespace beethoven
@@ -42,7 +43,7 @@ class WakeWheel
      * the simulator's wakeNow path, not the wheel).
      */
     void
-    schedule(Cycle now, Cycle at, Module *m)
+    schedule(Cycle now, Cycle at, Module *m) BTH_REQUIRES(gSimThreadRole)
     {
         beethoven_assert(at > now, "wheel wake must be in the future");
         if (at - now < _slots.size())
@@ -58,7 +59,7 @@ class WakeWheel
      */
     template <typename Fn>
     void
-    drain(Cycle now, Fn &&fn)
+    drain(Cycle now, Fn &&fn) BTH_REQUIRES(gSimThreadRole)
     {
         std::vector<Entry> &slot = _slots[now % _slots.size()];
         if (!slot.empty()) {
@@ -81,7 +82,7 @@ class WakeWheel
 
     /** Armed wakes not yet delivered (spurious duplicates included). */
     std::size_t
-    pending() const
+    pending() const BTH_REQUIRES(gSimThreadRole)
     {
         std::size_t n = _far.size();
         for (const auto &slot : _slots)
@@ -103,8 +104,9 @@ class WakeWheel
         }
     };
 
-    std::vector<std::vector<Entry>> _slots;
-    std::priority_queue<Entry, std::vector<Entry>, Later> _far;
+    std::vector<std::vector<Entry>> _slots BTH_GUARDED_BY(gSimThreadRole);
+    std::priority_queue<Entry, std::vector<Entry>, Later> _far
+        BTH_GUARDED_BY(gSimThreadRole);
 };
 
 } // namespace beethoven

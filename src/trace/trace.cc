@@ -309,7 +309,9 @@ TraceSink::writeProfile(std::ostream &os) const
 
 TraceProbe::TraceProbe(Simulator &sim, std::string name, Cycle period)
     : Module(sim, std::move(name)), _period(std::max<Cycle>(1, period))
-{}
+{
+    declareRole("probe");
+}
 
 void
 TraceProbe::addBusyTrack(std::string track,

@@ -13,6 +13,7 @@
 #include "baselines/machsuite_golden.h"
 #include "power/power.h"
 #include "runtime/fpga_handle.h"
+#include "sim/graph_record.h"
 #include "verify/golden.h"
 #include "verify/invariants.h"
 
@@ -157,9 +158,16 @@ runFuzzCaseOnce(const FuzzCase &c, const FuzzOptions &opt,
     std::optional<FuzzPlatform> platform;
     std::optional<AcceleratorSoc> soc;
     try {
+        // Armed before elaboration so the suppressed wake lands inside
+        // the SoC's own wiring; auto-disarms when it fires, and is
+        // explicitly cleared afterwards in case the count overshot.
+        if (c.plantWakeViolation != 0)
+            plantMissingPushWake(c.plantWakeViolation);
         platform.emplace(c.platform);
         soc.emplace(buildAcceleratorConfig(c), *platform);
+        plantMissingPushWake(0);
     } catch (const ConfigError &e) {
+        plantMissingPushWake(0);
         res.kind = FailKind::BuildError;
         res.message = e.what();
         return res;
@@ -558,6 +566,8 @@ fuzzCaseToJson(const FuzzCase &c)
        << (c.plantPowerViolation ? "true" : "false") << ",\n";
     os << "  \"plant_lost_wake\": \"" << u64Str(c.plantLostWake)
        << "\",\n";
+    os << "  \"plant_wake_violation\": \""
+       << u64Str(c.plantWakeViolation) << "\",\n";
     const FuzzPlatformKnobs &p = c.platform;
     os << "  \"platform\": {\"n_slrs\": " << p.nSlrs
        << ", \"noc_fanout\": " << p.nocFanout
@@ -619,6 +629,12 @@ fuzzCaseFromJson(const std::string &text)
     if (const JsonValue *v = root.find("plant_lost_wake")) {
         if (v->isString())
             c.plantLostWake =
+                std::strtoull(v->string.c_str(), nullptr, 10);
+    }
+    // Optional likewise (predates the static analyzer).
+    if (const JsonValue *v = root.find("plant_wake_violation")) {
+        if (v->isString())
+            c.plantWakeViolation =
                 std::strtoull(v->string.c_str(), nullptr, 10);
     }
 

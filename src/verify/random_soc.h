@@ -99,6 +99,13 @@ struct FuzzCase
      *  end to end from a replayable case. Only meaningful under
      *  --differential: the tick kernel never schedules wakes. */
     u64 plantLostWake = 0;
+    /** Test-only: suppress the Nth setWakeOnPush arming during
+     *  elaboration (0 = off) so the static analyzer's catch path
+     *  (BTH100) is provable end to end from a replayable case. The
+     *  consumer declaration is still recorded — the planted bug is a
+     *  missing arm, the same class --plant-lost-wake injects
+     *  dynamically. */
+    u64 plantWakeViolation = 0;
 };
 
 /** The simulation platform reshaped by a FuzzCase's knobs. */

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Unit tests for the simulation-graph static analyzer (src/analysis/):
+ * one positive and one negative case per BTH1xx code over hand-built
+ * SimGraph IR, the graph lowering of a real elaborated SoC, the
+ * planted-wake catch path (a lost-wake bug flagged WITHOUT running a
+ * single cycle), the static/dynamic pairing with the differential fuzz
+ * harness, and the shard-readiness report's content on the paper's
+ * compositions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/machsuite/gemm.h"
+#include "accel/memcpy_core.h"
+#include "analysis/analyze.h"
+#include "analysis/sim_graph.h"
+#include "base/log.h"
+#include "core/soc.h"
+#include "lint/lint.h"
+#include "platform/aws_f1.h"
+#include "sim/graph_record.h"
+#include "verify/fuzz.h"
+#include "verify/random_soc.h"
+#include "verify/traffic.h"
+
+namespace beethoven
+{
+namespace
+{
+
+using analysis::GraphEdge;
+using analysis::GraphModule;
+using analysis::GraphShard;
+using analysis::GraphSharedState;
+using analysis::kNoIndex;
+using analysis::kNoShard;
+using analysis::SimGraph;
+using verify::FuzzCase;
+using verify::FuzzKind;
+using verify::FuzzSystem;
+
+/** Minimal two-module graph: producer feeds consumer over one queue. */
+SimGraph
+pairGraph()
+{
+    SimGraph g;
+    GraphModule prod;
+    prod.name = "prod";
+    GraphModule cons;
+    cons.name = "cons";
+    g.modules = {prod, cons};
+    GraphEdge e;
+    e.site = "tests/synthetic:1";
+    e.capacity = 4;
+    e.latency = 1;
+    e.producer = 0;
+    e.consumer = 1;
+    e.pushWakeArmed = true;
+    e.pushWakeTarget = 1;
+    g.edges = {e};
+    return g;
+}
+
+// --- BTH100: sleepable consumer without an armed push-wake ----------
+
+TEST(GraphRules, Bth100FiresOnSleepableConsumerWithoutPushWake)
+{
+    SimGraph g = pairGraph();
+    g.modules[1].sleepable = true;
+    g.modules[1].sleepSite = "tests/synthetic:2";
+    g.edges[0].pushWakeArmed = false;
+    g.edges[0].pushWakeTarget = kNoIndex;
+    // Keep the module reachable through a pop-wake so only BTH100
+    // (not BTH102) is under test.
+    g.edges[0].popWakeArmed = true;
+    g.edges[0].producer = 1;
+    const auto rep = analysis::analyzeGraph(g);
+    EXPECT_TRUE(rep.has("BTH100"));
+}
+
+TEST(GraphRules, Bth100SilentWhenPushWakeArmedOrConsumerPolls)
+{
+    SimGraph g = pairGraph();
+    g.modules[1].sleepable = true;
+    EXPECT_FALSE(analysis::analyzeGraph(g).has("BTH100"));
+
+    // A poll-driven (never-sleeping) consumer needs no push-wake.
+    SimGraph g2 = pairGraph();
+    g2.edges[0].pushWakeArmed = false;
+    g2.edges[0].pushWakeTarget = kNoIndex;
+    EXPECT_FALSE(analysis::analyzeGraph(g2).has("BTH100"));
+}
+
+// --- BTH101: push-wake armed at a module that is not the consumer --
+
+TEST(GraphRules, Bth101FiresOnMisdirectedPushWake)
+{
+    SimGraph g = pairGraph();
+    g.edges[0].pushWakeTarget = 0; // armed at the producer, not 'cons'
+    const auto rep = analysis::analyzeGraph(g);
+    EXPECT_TRUE(rep.has("BTH101"));
+}
+
+TEST(GraphRules, Bth101SilentWhenWakeTargetsTheConsumer)
+{
+    EXPECT_FALSE(analysis::analyzeGraph(pairGraph()).has("BTH101"));
+}
+
+// --- BTH102: sleepable module with no reachable wake source --------
+
+TEST(GraphRules, Bth102FiresOnUnwakeableSleeper)
+{
+    SimGraph g;
+    GraphModule m;
+    m.name = "stuck";
+    m.sleepable = true;
+    m.sleepSite = "tests/synthetic:3";
+    g.modules = {m};
+    const auto rep = analysis::analyzeGraph(g);
+    EXPECT_TRUE(rep.has("BTH102"));
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(GraphRules, Bth102SilentWithPushWakePopWakeOrSelfWake)
+{
+    // Push-wake reachable.
+    EXPECT_FALSE([] {
+        SimGraph g = pairGraph();
+        g.modules[1].sleepable = true;
+        return analysis::analyzeGraph(g).has("BTH102");
+    }());
+    // Pop-wake reachable (producer side).
+    EXPECT_FALSE([] {
+        SimGraph g = pairGraph();
+        g.modules[0].sleepable = true;
+        g.edges[0].popWakeArmed = true;
+        return analysis::analyzeGraph(g).has("BTH102");
+    }());
+    // Self-wake (e.g. the DRAM refresh timer).
+    EXPECT_FALSE([] {
+        SimGraph g;
+        GraphModule m;
+        m.name = "timer";
+        m.sleepable = true;
+        m.selfWake = true;
+        g.modules = {m};
+        return analysis::analyzeGraph(g).has("BTH102");
+    }());
+}
+
+// --- BTH103: self-wake declared without a sleep site ---------------
+
+TEST(GraphRules, Bth103FiresOnSelfWakeWithoutSleep)
+{
+    SimGraph g;
+    GraphModule m;
+    m.name = "dead-arm";
+    m.selfWake = true;
+    m.selfWakeSite = "tests/synthetic:4";
+    g.modules = {m};
+    EXPECT_TRUE(analysis::analyzeGraph(g).has("BTH103"));
+}
+
+TEST(GraphRules, Bth103SilentWhenPaired)
+{
+    SimGraph g;
+    GraphModule m;
+    m.name = "timer";
+    m.selfWake = true;
+    m.sleepable = true;
+    g.modules = {m};
+    EXPECT_FALSE(analysis::analyzeGraph(g).has("BTH103"));
+}
+
+// --- BTH104: zero-latency wake cycles ------------------------------
+
+TEST(GraphRules, Bth104FiresOnZeroLatencyCycle)
+{
+    // a -> b -> a, both hops armed push-wakes through latency-0 queues.
+    SimGraph g;
+    GraphModule a, b;
+    a.name = "a";
+    b.name = "b";
+    g.modules = {a, b};
+    GraphEdge ab, ba;
+    ab.producer = 0;
+    ab.consumer = 1;
+    ab.pushWakeArmed = true;
+    ab.pushWakeTarget = 1;
+    ab.latency = 0;
+    ba.producer = 1;
+    ba.consumer = 0;
+    ba.pushWakeArmed = true;
+    ba.pushWakeTarget = 0;
+    ba.latency = 0;
+    g.edges = {ab, ba};
+    const auto rep = analysis::analyzeGraph(g);
+    EXPECT_TRUE(rep.has("BTH104"));
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(GraphRules, Bth104SilentWhenAnyHopHasLatency)
+{
+    SimGraph g;
+    GraphModule a, b;
+    a.name = "a";
+    b.name = "b";
+    g.modules = {a, b};
+    GraphEdge ab, ba;
+    ab.producer = 0;
+    ab.consumer = 1;
+    ab.pushWakeArmed = true;
+    ab.pushWakeTarget = 1;
+    ab.latency = 0;
+    ba.producer = 1;
+    ba.consumer = 0;
+    ba.pushWakeArmed = true;
+    ba.pushWakeTarget = 0;
+    ba.latency = 1; // a real TimedQueue: breaks the same-cycle loop
+    g.edges = {ab, ba};
+    EXPECT_FALSE(analysis::analyzeGraph(g).has("BTH104"));
+}
+
+// --- BTH105: producer is its own push-wake target ------------------
+
+TEST(GraphRules, Bth105FiresOnSelfWakeLoop)
+{
+    SimGraph g = pairGraph();
+    g.edges[0].pushWakeTarget = 0; // producer wakes itself on push
+    EXPECT_TRUE(analysis::analyzeGraph(g).has("BTH105"));
+}
+
+TEST(GraphRules, Bth105SilentOnNormalWiring)
+{
+    EXPECT_FALSE(analysis::analyzeGraph(pairGraph()).has("BTH105"));
+}
+
+// --- BTH110/BTH111/BTH112: shard-readiness audit -------------------
+
+SimGraph
+shardedGraph()
+{
+    SimGraph g = pairGraph();
+    g.shards = {{0, "host"}, {1, "mem"}};
+    g.modules[0].shard = 0;
+    g.modules[1].shard = 1;
+    return g;
+}
+
+TEST(ShardRules, Bth110FiresOnCrossShardStateAndSpansAll)
+{
+    SimGraph g = shardedGraph();
+    GraphSharedState st;
+    st.name = "stats.shared";
+    st.kind = "stat";
+    st.site = "tests/synthetic:5";
+    st.accessors = {0, 1};
+    g.sharedStates = {st};
+    EXPECT_TRUE(analysis::analyzeGraph(g).has("BTH110"));
+
+    GraphSharedState all;
+    all.name = "sim.global";
+    all.kind = "sim";
+    all.spansAllShards = true;
+    g.sharedStates = {all};
+    EXPECT_TRUE(analysis::analyzeGraph(g).has("BTH110"));
+}
+
+TEST(ShardRules, Bth110SilentForShardLocalStateOrNoPartition)
+{
+    SimGraph g = shardedGraph();
+    GraphSharedState st;
+    st.name = "stats.local";
+    st.kind = "stat";
+    st.accessors = {0}; // one shard only
+    g.sharedStates = {st};
+    EXPECT_FALSE(analysis::analyzeGraph(g).has("BTH110"));
+
+    // No partition defined: nothing to audit.
+    SimGraph g2 = pairGraph();
+    GraphSharedState wide;
+    wide.name = "stats.wide";
+    wide.kind = "stat";
+    wide.accessors = {0, 1};
+    g2.sharedStates = {wide};
+    EXPECT_FALSE(analysis::analyzeGraph(g2).has("BTH110"));
+}
+
+TEST(ShardRules, Bth111ReportsCrossingEdgesPerShardPair)
+{
+    const auto rep = analysis::analyzeGraph(shardedGraph());
+    EXPECT_TRUE(rep.has("BTH111"));
+
+    // Same-shard edge: no crossing.
+    SimGraph g = shardedGraph();
+    g.modules[1].shard = 0;
+    EXPECT_FALSE(analysis::analyzeGraph(g).has("BTH111"));
+}
+
+TEST(ShardRules, Bth112FiresOnUncoveredModule)
+{
+    SimGraph g = shardedGraph();
+    g.modules[1].shard = kNoShard;
+    EXPECT_TRUE(analysis::analyzeGraph(g).has("BTH112"));
+    EXPECT_FALSE(analysis::analyzeGraph(shardedGraph()).has("BTH112"));
+}
+
+// --- Real-SoC lowering, census, and the planted-wake catch ---------
+
+FuzzCase
+memcpyCase()
+{
+    FuzzCase c;
+    c.seed = 7;
+    FuzzSystem sys;
+    sys.kind = FuzzKind::Memcpy;
+    sys.nCores = 1;
+    c.systems.push_back(sys);
+    return c;
+}
+
+TEST(SocAnalysis, ElaboratedSocIsAnalyzeClean)
+{
+    const verify::FuzzPlatform platform(memcpyCase().platform);
+    const AcceleratorSoc soc(verify::buildAcceleratorConfig(memcpyCase()),
+                             platform);
+    const auto rep = soc.analyzeGraph();
+    EXPECT_FALSE(rep.hasErrors()) << rep.format();
+    // The shard audit must still see the known cross-shard state.
+    EXPECT_TRUE(rep.has("BTH110"));
+    EXPECT_TRUE(rep.has("BTH111"));
+}
+
+TEST(SocAnalysis, CensusMatchesCompositionModel)
+{
+    const verify::FuzzPlatform platform(memcpyCase().platform);
+    const AcceleratorSoc soc(verify::buildAcceleratorConfig(memcpyCase()),
+                             platform);
+    EXPECT_FALSE(soc.analyzeGraph().has("BTH106"));
+
+    // Against a DIFFERENT composition's model the census must flag
+    // the role-count skew (positive case for BTH106).
+    FuzzCase bigger = memcpyCase();
+    bigger.systems[0].nCores = 2;
+    const auto model = lint::buildCompositionModel(
+        verify::buildAcceleratorConfig(bigger), platform);
+    const analysis::SimGraph g = analysis::buildSimGraph(soc.sim());
+    EXPECT_TRUE(analysis::analyzeGraph(g, &model).has("BTH106"));
+}
+
+TEST(SocAnalysis, PlantedMissingPushWakeIsCaughtStatically)
+{
+    // The bug --plant-lost-wake=N plants dynamically (a wake that
+    // never arrives) is planted here at its root cause — an unarmed
+    // push-wake — and must be flagged BEFORE a single cycle runs.
+    analysis::ScopedDeferGraphValidation defer;
+    plantMissingPushWake(1);
+    const verify::FuzzPlatform platform(memcpyCase().platform);
+    const AcceleratorSoc soc(verify::buildAcceleratorConfig(memcpyCase()),
+                             platform);
+    plantMissingPushWake(0);
+    EXPECT_EQ(soc.sim().cycle(), 0u) << "analysis must not simulate";
+    const auto rep = soc.analyzeGraph();
+    EXPECT_TRUE(rep.has("BTH100")) << rep.format();
+    EXPECT_TRUE(rep.hasErrors());
+}
+
+TEST(SocAnalysis, PlantedMissingPushWakeFailsElaboration)
+{
+    // Without the deferral the constructor-tail validation must
+    // reject the planted graph outright.
+    plantMissingPushWake(1);
+    const verify::FuzzPlatform platform(memcpyCase().platform);
+    EXPECT_THROW(
+        {
+            const AcceleratorSoc soc(
+                verify::buildAcceleratorConfig(memcpyCase()), platform);
+        },
+        ConfigError);
+    plantMissingPushWake(0);
+}
+
+TEST(SocAnalysis, StaticAndDynamicCatchesPairUp)
+{
+    // The differential harness catches the planted lost wake at run
+    // time; the analyzer catches the same bug class at build time.
+    FuzzCase c = memcpyCase();
+    verify::RandomTrafficGen traffic(99);
+    traffic.generate(c, 1);
+    c.plantLostWake = 7;
+    verify::FuzzOptions opt;
+    opt.differential = true;
+    const verify::FuzzResult dynamic_catch = verify::runFuzzCase(c, opt);
+    EXPECT_NE(dynamic_catch.kind, verify::FailKind::None);
+
+    c.plantLostWake = 0;
+    c.plantWakeViolation = 1;
+    lint::DiagnosticReport static_rep;
+    {
+        analysis::ScopedDeferGraphValidation defer;
+        plantMissingPushWake(c.plantWakeViolation);
+        const verify::FuzzPlatform platform(c.platform);
+        const AcceleratorSoc soc(verify::buildAcceleratorConfig(c),
+                                 platform);
+        plantMissingPushWake(0);
+        static_rep = soc.analyzeGraph();
+    }
+    EXPECT_TRUE(static_rep.has("BTH100"));
+}
+
+// --- Shard-readiness report on the paper's compositions ------------
+
+TEST(ShardReport, Fig4AndFig6EnumerateCrossShardState)
+{
+    for (const bool fig6 : {false, true}) {
+        AwsF1Platform platform;
+        AcceleratorConfig cfg;
+        if (fig6) {
+            platform.setClockMHz(125.0);
+            cfg.systems.push_back(machsuite::GemmCore::systemConfig(4));
+        } else {
+            cfg.systems.push_back(
+                MemcpyCore::systemConfig(1, MemcpyCore::Variant{}));
+        }
+        const AcceleratorSoc soc(std::move(cfg), platform);
+        const analysis::SimGraph g = analysis::buildSimGraph(soc.sim());
+        const std::string report = analysis::shardReportJson(g);
+
+        EXPECT_NE(report.find("beethoven-shard-report-1"),
+                  std::string::npos);
+        // Every known cross-boundary shared-state family must appear,
+        // with file:line provenance.
+        for (const char *expect :
+             {"sim.wake-wheel", "power.ddr", "power.noc",
+              "ddr.in-flight", "\"site\": \"src/",
+              "\"crossing_edges\"", "\"shards\""}) {
+            EXPECT_NE(report.find(expect), std::string::npos)
+                << expect << " missing from shard report (fig6="
+                << fig6 << ")";
+        }
+        // The partition covers every module on these compositions.
+        EXPECT_NE(report.find("\"uncovered_modules\": 0"),
+                  std::string::npos);
+    }
+}
+
+TEST(ShardReport, EveryAnalyzerCodeIsRegisteredWithStableLayer)
+{
+    for (const char *code :
+         {"BTH100", "BTH101", "BTH102", "BTH103", "BTH104", "BTH105",
+          "BTH106", "BTH110", "BTH111", "BTH112"}) {
+        const auto *info = lint::findDiagnosticCode(code);
+        ASSERT_NE(info, nullptr) << code;
+        const std::string layer = info->layer;
+        EXPECT_TRUE(layer == "graph" || layer == "shard") << code;
+    }
+}
+
+} // namespace
+} // namespace beethoven

@@ -85,7 +85,10 @@ class PulseProducer : public Module
                   int count)
         : Module(sim, "producer"), _out(out), _period(period),
           _left(count)
-    {}
+    {
+        declareSleepable();
+        declareSelfWake();
+    }
 
     void
     tick() override
@@ -121,6 +124,7 @@ class SleepyConsumer : public Module
     SleepyConsumer(Simulator &sim, TimedQueue<int> &in)
         : Module(sim, "consumer"), _in(in)
     {
+        declareSleepable();
         _in.setWakeOnPush(this);
     }
 
@@ -180,7 +184,11 @@ TEST(EventKernel, WakeOutOfFullQuiescence)
     class Beacon : public Module
     {
       public:
-        explicit Beacon(Simulator &sim) : Module(sim, "beacon") {}
+        explicit Beacon(Simulator &sim) : Module(sim, "beacon")
+        {
+            declareSleepable();
+            declareSelfWake();
+        }
         void
         tick() override
         {
@@ -213,7 +221,10 @@ TEST(EventKernel, WatchdogFiresWhenActiveSetEmpties)
     class Stuck : public Module
     {
       public:
-        explicit Stuck(Simulator &sim) : Module(sim, "stuck") {}
+        explicit Stuck(Simulator &sim) : Module(sim, "stuck")
+        {
+            declareSleepable();
+        }
         void
         tick() override
         {
@@ -241,7 +252,10 @@ TEST(EventKernel, SleptGapBackfillsWithGapClass)
       public:
         explicit Waiter(Simulator &sim)
             : Module(sim, "waiter"), _stall(sim, "waiter")
-        {}
+        {
+            declareSleepable();
+            declareSelfWake();
+        }
         void
         tick() override
         {

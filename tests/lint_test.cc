@@ -96,7 +96,9 @@ TEST(LintRegistry, CoversAllLayersWithStableUniqueCodes)
             << info.code;
     }
     const std::set<std::string> expect_layers = {
-        "config", "memory", "axi", "noc", "placement"};
+        "config", "memory", "axi", "noc", "placement",
+        // Simulation-graph analyzer layers (src/analysis/, BTH1xx).
+        "graph", "shard"};
     EXPECT_EQ(layers, expect_layers);
     EXPECT_NE(lint::findDiagnosticCode("BTH001"), nullptr);
     EXPECT_EQ(lint::findDiagnosticCode("BTH999"), nullptr);

@@ -4,13 +4,26 @@
 # so CI images without LLVM — like the gcc-only container this repo
 # usually builds in — don't fail spuriously.
 #
-# Usage: tools/run_tidy.sh [BUILD_DIR]
+# Usage: tools/run_tidy.sh [--diff] [BUILD_DIR]
+#   --diff     check only files touched relative to HEAD (staged,
+#              unstaged, and untracked); exit non-zero on any warning
+#              in those files. Intended as a pre-commit gate: the full
+#              tree may carry accepted baseline warnings, but a diff
+#              must not add new ones.
 #   BUILD_DIR  a cmake build tree with compile_commands.json
 #              (default: build)
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
+diff_only=0
+build_dir=""
+for arg in "$@"; do
+    case "$arg" in
+    --diff) diff_only=1 ;;
+    *) build_dir=$arg ;;
+    esac
+done
+build_dir=${build_dir:-"$repo_root/build"}
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "run_tidy: clang-tidy not found; skipping (install LLVM to" \
@@ -25,8 +38,21 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 cd "$repo_root"
-files=$(find src tools -name '*.cc' | sort)
-echo "run_tidy: checking $(echo "$files" | wc -l) files"
-# shellcheck disable=SC2086
-clang-tidy -p "$build_dir" --quiet $files
+if [ "$diff_only" -eq 1 ]; then
+    files=$( (git diff --name-only HEAD; git ls-files --others \
+             --exclude-standard) | grep -E '^(src|tools)/.*\.cc$' \
+             | sort -u || true)
+    if [ -z "$files" ]; then
+        echo "run_tidy: no changed .cc files; nothing to check"
+        exit 0
+    fi
+    echo "run_tidy: checking $(echo "$files" | wc -l) changed files"
+    # shellcheck disable=SC2086
+    clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' $files
+else
+    files=$(find src tools -name '*.cc' | sort)
+    echo "run_tidy: checking $(echo "$files" | wc -l) files"
+    # shellcheck disable=SC2086
+    clang-tidy -p "$build_dir" --quiet $files
+fi
 echo "run_tidy: clean"

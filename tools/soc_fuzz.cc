@@ -13,12 +13,14 @@
  *            [--max-ops=N] [--repro-out=PATH] [--no-shrink]
  *            [--plant-violation] [--plant-lint-violation]
  *            [--differential] [--sim-kernel=tick|event]
- *            [--plant-lost-wake=N] [--replay=PATH] [--verbose]
+ *            [--plant-lost-wake=N] [--plant-wake-violation=N]
+ *            [--replay=PATH] [--verbose]
  *
  * Every sampled case is cross-checked against the composition linter
- * (src/lint/) before it runs; a sampled case with error-severity
- * findings means the sampler and linter disagree and is itself a
- * failure.
+ * (src/lint/) before it runs, and its elaborated simulation graph
+ * against the static analyzer (src/analysis/); a sampled case with
+ * error-severity findings means the sampler and a checker disagree and
+ * is itself a failure.
  *
  * Exit codes: 0 all iterations clean, 3 a failure was found (repro
  * written if --repro-out), 2 usage or IO error.
@@ -28,8 +30,11 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/analyze.h"
 #include "base/log.h"
+#include "core/soc.h"
 #include "lint/lint.h"
+#include "sim/graph_record.h"
 #include "verify/fuzz.h"
 #include "verify/traffic.h"
 
@@ -48,6 +53,7 @@ usage(std::ostream &os)
           "                [--plant-power-violation]\n"
           "                [--differential] [--sim-kernel=tick|event]\n"
           "                [--plant-lost-wake=N]\n"
+          "                [--plant-wake-violation=N]\n"
           "                [--replay=PATH] [--verbose]\n"
           "\n"
           "  --seed=N            base RNG seed (default 1)\n"
@@ -76,6 +82,11 @@ usage(std::ostream &os)
           "                      schedule in every case (self-test of\n"
           "                      the differential catch path; implies\n"
           "                      nothing under the tick kernel)\n"
+          "  --plant-wake-violation=N\n"
+          "                      suppress the Nth push-wake arming at\n"
+          "                      elaboration in every case (self-test\n"
+          "                      of the static analyzer's BTH100 catch\n"
+          "                      path)\n"
           "  --replay=PATH       run one case from a repro file instead\n"
           "                      of sampling\n"
           "  --verbose           per-iteration progress lines\n";
@@ -118,6 +129,7 @@ main(int argc, char **argv)
     bool plant_lint = false;
     bool plant_power = false;
     u64 plant_lost_wake = 0;
+    u64 plant_wake_violation = 0;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -128,6 +140,8 @@ main(int argc, char **argv)
             parseU64Flag(arg, "iterations", iterations) ||
             parseU64Flag(arg, "max-ops", max_ops) ||
             parseU64Flag(arg, "plant-lost-wake", plant_lost_wake) ||
+            parseU64Flag(arg, "plant-wake-violation",
+                         plant_wake_violation) ||
             parseStringFlag(arg, "repro-out", repro_out) ||
             parseStringFlag(arg, "replay", replay_path)) {
             continue;
@@ -196,6 +210,7 @@ main(int argc, char **argv)
         c.plantLintViolation = plant_lint;
         c.plantPowerViolation = plant_power;
         c.plantLostWake = plant_lost_wake;
+        c.plantWakeViolation = plant_wake_violation;
 
         // Cross-check the sampler against the composition linter:
         // every sampled case must be lint-clean (no error-severity
@@ -217,6 +232,49 @@ main(int argc, char **argv)
                           << case_seed << ")\n";
                 return 2;
             }
+        }
+
+        // Cross-check elaboration against the static analyzer: every
+        // sampled case's simulation graph must be analyze-clean, and a
+        // planted wake violation must surface as BTH100 — without
+        // running a single cycle. Skipped when the linter already
+        // rejects the case (nothing elaborable to analyze).
+        if (!plant_lint) {
+            analysis::ScopedDeferGraphValidation defer;
+            lint::DiagnosticReport graph_rep;
+            try {
+                if (c.plantWakeViolation != 0)
+                    plantMissingPushWake(c.plantWakeViolation);
+                const FuzzPlatform platform(c.platform);
+                const AcceleratorSoc soc(buildAcceleratorConfig(c),
+                                         platform);
+                plantMissingPushWake(0);
+                graph_rep = soc.analyzeGraph();
+            } catch (const ConfigError &e) {
+                plantMissingPushWake(0);
+                std::cerr << "soc_fuzz: sampled case (seed "
+                          << case_seed
+                          << ") failed to elaborate for analysis: "
+                          << e.what() << "\n";
+                return 3;
+            }
+            if (plant_wake_violation == 0 && graph_rep.hasErrors()) {
+                std::cerr << "soc_fuzz: sampled case (seed " << case_seed
+                          << ") is not analyze-clean:\n"
+                          << graph_rep.format();
+                return 3;
+            }
+            if (plant_wake_violation != 0 &&
+                !graph_rep.has("BTH100")) {
+                std::cerr << "soc_fuzz: planted wake violation was not "
+                             "caught statically (seed "
+                          << case_seed << ")\n";
+                return 2;
+            }
+            // With the plant armed the case still falls through to the
+            // run below, where the constructor-tail validation rejects
+            // it (BuildError -> exit 3) — the same double-catch
+            // contract as --plant-lint-violation.
         }
 
         const FuzzResult r = runFuzzCase(c, opt);

@@ -1,15 +1,20 @@
 /**
  * @file
- * Shard-readiness rules (the "shard" layer, BTH110–BTH112).
+ * Shard-readiness rules (the "shard" layer, BTH110–BTH113).
  *
  * The SoC stamps a candidate partition into the graph record — host,
  * one shard per SLR, and memory, split at the NoC/AXI boundaries the
  * way Sniper parallelizes multicore simulation — and these rules audit
  * what stands in the way of running the shards on separate threads:
  * mutable state reachable from more than one shard, and modules the
- * partition does not cover. Findings are warnings/notes, never errors:
- * they are the work-list for the parallel-sharding PR, not defects in
- * today's single-threaded simulation.
+ * partition does not cover. Findings are warnings/notes, never errors
+ * for the serial kernels; the parallel kernel (src/sim/parallel.cc)
+ * independently refuses to elaborate while any BTH110 warning or
+ * BTH112 gap stands, so driving this audit clean is what unlocks
+ * --sim-kernel=parallel. A shared state whose registration carries a
+ * resolution (SimGraphRecord::resolveSharedState) is discharged: it
+ * reports as a BTH113 note recording the mechanism instead of a
+ * BTH110 warning.
  */
 
 #include <map>
@@ -65,6 +70,15 @@ ruleCrossShardState(const SimGraph &g, const lint::CompositionModel *,
         std::string names;
         for (int s : shards)
             names += (names.empty() ? "" : ", ") + shardName(g, s);
+        if (!st.resolution.empty()) {
+            auto &d = rep.add("BTH113", st.name,
+                              st.kind + " state '" + st.name +
+                                  "' (registered at " + st.site +
+                                  ") spans shards {" + names +
+                                  "} — resolved");
+            d.note = st.resolution;
+            continue;
+        }
         auto &d = rep.add("BTH110", st.name,
                           st.kind + " state '" + st.name +
                               "' (registered at " + st.site +
@@ -72,7 +86,8 @@ ruleCrossShardState(const SimGraph &g, const lint::CompositionModel *,
                               "}");
         d.note = "under a threaded kernel every access becomes a data "
                  "race; shard it, replicate-and-reduce it, or fence "
-                 "it behind the owning shard";
+                 "it behind the owning shard — then record the "
+                 "mechanism with SimGraphRecord::resolveSharedState";
     }
 }
 

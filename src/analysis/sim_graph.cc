@@ -66,6 +66,7 @@ buildSimGraph(const Simulator &sim)
         }
         st.extraShards = s.extraShards;
         st.spansAllShards = s.spansAllShards;
+        st.resolution = s.resolution;
         g.sharedStates.push_back(std::move(st));
     }
 

@@ -96,6 +96,9 @@ struct GraphSharedState
     std::vector<int> accessors;   ///< module indices that touch it
     std::vector<int> extraShards; ///< shards that pull without a module
     bool spansAllShards = false;
+    /** How the hazard is discharged under the parallel kernel
+     *  ("" = unresolved; downgrades BTH110 to a BTH113 note). */
+    std::string resolution;
 };
 
 struct GraphShard

@@ -483,6 +483,9 @@ AcceleratorSoc::registerSharedState()
         st.site = std::source_location::current();
         st.accessors = tree_modules(tree);
         st.accessors.push_back(_nocProbe.get());
+        st.resolution =
+            "occupancy pulls only run while a TraceSink is attached; "
+            "the parallel kernel refuses to start with one";
         rec.addSharedState(std::move(st));
     };
     if (_arTree)
@@ -517,6 +520,9 @@ AcceleratorSoc::registerSharedState()
                 if (w != nullptr)
                     st.accessors.push_back(w);
         st.extraShards.push_back(host_shard);
+        st.resolution =
+            "energy pulls only run from an attached PowerMeter's "
+            "sampler; the parallel kernel refuses to start with one";
         rec.addSharedState(std::move(st));
     }
     {
@@ -526,6 +532,9 @@ AcceleratorSoc::registerSharedState()
         st.site = std::source_location::current();
         st.accessors.push_back(_dram.get());
         st.extraShards.push_back(host_shard);
+        st.resolution =
+            "energy pulls only run from an attached PowerMeter's "
+            "sampler; the parallel kernel refuses to start with one";
         rec.addSharedState(std::move(st));
     }
     {
@@ -550,6 +559,10 @@ AcceleratorSoc::registerSharedState()
         add_tree(*_cmdTree);
         add_tree(*_respTree);
         st.extraShards.push_back(host_shard);
+        st.resolution =
+            "nocFlits() sums node-local counters and is only pulled "
+            "from an attached PowerMeter's sampler; the parallel "
+            "kernel refuses to start with one";
         rec.addSharedState(std::move(st));
     }
     {
@@ -559,6 +572,26 @@ AcceleratorSoc::registerSharedState()
         st.site = std::source_location::current();
         st.accessors.push_back(_mmio.get());
         st.extraShards.push_back(host_shard);
+        st.resolution =
+            "energy pulls only run from an attached PowerMeter's "
+            "sampler; the parallel kernel refuses to start with one";
+        rec.addSharedState(std::move(st));
+    }
+
+    // Host DMA and the DRAM model share the functional backing store.
+    {
+        SimGraphRecord::SharedState st;
+        st.name = "mem.functional";
+        st.kind = "dram-map";
+        st.site = std::source_location::current();
+        st.accessors.push_back(_dram.get());
+        st.extraShards.push_back(host_shard);
+        st.resolution =
+            "host-link DMA raises a serial fence "
+            "(HostInterface::hasPendingDma); the coordinator steps "
+            "merged single cycles until the transfer lands, so the "
+            "backing store is never written concurrently with DRAM "
+            "traffic";
         rec.addSharedState(std::move(st));
     }
 
@@ -571,6 +604,9 @@ AcceleratorSoc::registerSharedState()
         st.site = std::source_location::current();
         st.accessors.push_back(_dram.get());
         st.extraShards.push_back(host_shard);
+        st.resolution =
+            "hang dumpers only walk the maps after the watchdog trips "
+            "at an epoch barrier, when every worker is parked";
         rec.addSharedState(std::move(st));
     }
 }

@@ -107,6 +107,8 @@ diagnosticRegistry()
          "queue edges cross a shard boundary"},
         {"BTH112", "shard", Severity::Warning,
          "module not covered by the shard partition"},
+        {"BTH113", "shard", Severity::Note,
+         "cross-shard state resolved for the parallel kernel"},
     };
     return registry;
 }

@@ -61,9 +61,9 @@ class MuxNode : public Module
 {
   public:
     MuxNode(Simulator &sim, std::string name, TimedQueue<F> *out,
-            Lock lock = Lock{}, StatScalar *flits = nullptr)
+            Lock lock = Lock{})
         : Module(sim, std::move(name)), _out(out), _lock(std::move(lock)),
-          _flits(flits), _stall(sim, Module::name())
+          _stall(sim, Module::name())
     {
         declareRole("noc-mux");
         declareSleepable();
@@ -105,8 +105,7 @@ class MuxNode : public Module
             if (in->canPop()) {
                 _out->push(in->pop());
                 --_lockRemaining;
-                if (_flits != nullptr)
-                    ++*_flits;
+                ++_flits;
                 _stall.account(StallClass::Busy);
             } else {
                 // Mid-burst valid-wait on the locked input.
@@ -123,8 +122,7 @@ class MuxNode : public Module
             F flit = in->pop();
             const unsigned lock_beats = _lock(flit);
             _out->push(std::move(flit));
-            if (_flits != nullptr)
-                ++*_flits;
+            ++_flits;
             if (lock_beats > 0) {
                 _lockRemaining = lock_beats;
                 _lockedInput = j;
@@ -136,6 +134,9 @@ class MuxNode : public Module
         }
         settle(StallClass::Idle);
     }
+
+    /** Flits this node has forwarded (local to the node's shard). */
+    double flits() const { return _flits; }
 
   private:
     /**
@@ -152,7 +153,10 @@ class MuxNode : public Module
     std::vector<TimedQueue<F> *> _inputs;
     TimedQueue<F> *_out;
     Lock _lock;
-    StatScalar *_flits; ///< shared per-tree forwarded-flit counter
+    /** Node-local forwarded-flit count; the tree folds node counts
+     *  into its published scalar at stat publication, so no counter
+     *  is ever written from two execution groups. */
+    double _flits = 0.0;
     StallAccount _stall;
     std::size_t _rr = 0;
     unsigned _lockRemaining = 0;
@@ -170,9 +174,9 @@ class DemuxNode : public Module
     using KeyFn = std::function<std::size_t(const F &)>;
 
     DemuxNode(Simulator &sim, std::string name, TimedQueue<F> *in,
-              KeyFn key, StatScalar *flits = nullptr)
+              KeyFn key)
         : Module(sim, std::move(name)), _in(in), _key(std::move(key)),
-          _flits(flits), _stall(sim, Module::name())
+          _stall(sim, Module::name())
     {
         declareRole("noc-demux");
         declareSleepable();
@@ -202,8 +206,7 @@ class DemuxNode : public Module
                          name().c_str());
         if (it->second->canPush()) {
             it->second->push(_in->pop());
-            if (_flits != nullptr)
-                ++*_flits;
+            ++_flits;
             _stall.account(StallClass::Busy);
         } else {
             _stall.account(StallClass::StallDownstream);
@@ -211,10 +214,14 @@ class DemuxNode : public Module
         }
     }
 
+    /** Flits this node has forwarded (local to the node's shard). */
+    double flits() const { return _flits; }
+
   private:
     TimedQueue<F> *_in;
     KeyFn _key;
-    StatScalar *_flits; ///< shared per-tree forwarded-flit counter
+    /** Node-local forwarded-flit count; folded at stat publication. */
+    double _flits = 0.0;
     StallAccount _stall;
     std::map<std::size_t, TimedQueue<F> *> _routes;
 };
@@ -315,6 +322,9 @@ class MuxTree
             buildSubtree(sim, name + ".slr" + std::to_string(slr),
                          endpoints, params, link, lock, slr);
         }
+        // Fold node-local counters into the published scalar whenever
+        // stats are emitted; exact because the locals hold integers.
+        sim.addStatFolder([this] { _flits->set(flits()); });
         registerFlitCounterState(sim, name);
     }
 
@@ -328,7 +338,14 @@ class MuxTree
     }
 
     /** Cumulative node-hops forwarded through this tree. */
-    double flits() const { return _flits->value(); }
+    double
+    flits() const
+    {
+        double total = 0.0;
+        for (const auto &n : _nodes)
+            total += n->flits();
+        return total;
+    }
 
     const TreeStats &stats() const { return _stats; }
 
@@ -383,6 +400,9 @@ class MuxTree
         st.site = std::source_location::current();
         for (const NodeInfo &info : _nodeInfos)
             st.accessors.push_back(info.module);
+        st.resolution =
+            "nodes increment node-local counters; a stat folder sums "
+            "them into the published scalar at stat publication";
         sim.graphRecord().addSharedState(std::move(st));
     }
 
@@ -391,7 +411,7 @@ class MuxTree
              const Lock &lock, unsigned slr, bool is_root)
     {
         _nodes.push_back(std::make_unique<MuxNode<F, Lock>>(
-            sim, name, out, lock, _flits));
+            sim, name, out, lock));
         _nodeInfos.push_back(NodeInfo{_nodes.back().get(), slr, is_root});
         ++_stats.nodes;
         return _nodes.back().get();
@@ -500,6 +520,9 @@ class DemuxTree
             buildSubtree(sim, name + ".slr" + std::to_string(slr),
                          endpoints, params, link, slr);
         }
+        // Fold node-local counters into the published scalar whenever
+        // stats are emitted; exact because the locals hold integers.
+        sim.addStatFolder([this] { _flits->set(flits()); });
         registerFlitCounterState(sim, name);
     }
 
@@ -514,7 +537,14 @@ class DemuxTree
     }
 
     /** Cumulative node-hops forwarded through this tree. */
-    double flits() const { return _flits->value(); }
+    double
+    flits() const
+    {
+        double total = 0.0;
+        for (const auto &n : _nodes)
+            total += n->flits();
+        return total;
+    }
 
     const TreeStats &stats() const { return _stats; }
 
@@ -565,6 +595,9 @@ class DemuxTree
         st.site = std::source_location::current();
         for (const NodeInfo &info : _nodeInfos)
             st.accessors.push_back(info.module);
+        st.resolution =
+            "nodes increment node-local counters; a stat folder sums "
+            "them into the published scalar at stat publication";
         sim.graphRecord().addSharedState(std::move(st));
     }
 
@@ -573,7 +606,7 @@ class DemuxTree
              unsigned slr, bool is_root)
     {
         _nodes.push_back(
-            std::make_unique<DemuxNode<F>>(sim, name, in, _key, _flits));
+            std::make_unique<DemuxNode<F>>(sim, name, in, _key));
         _nodeInfos.push_back(NodeInfo{_nodes.back().get(), slr, is_root});
         ++_stats.nodes;
         return _nodes.back().get();

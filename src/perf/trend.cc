@@ -1,0 +1,119 @@
+#include "perf/trend.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace beethoven
+{
+
+namespace
+{
+
+/** First and last present nonzero-rate points of @p series. */
+std::pair<int, int>
+simulatingEndpoints(const std::vector<double> &series)
+{
+    int first = -1;
+    int last = -1;
+    for (int i = 0; i < static_cast<int>(series.size()); ++i) {
+        if (series[i] <= 0.0)
+            continue;
+        if (first < 0)
+            first = i;
+        last = i;
+    }
+    return {first, last};
+}
+
+} // namespace
+
+double
+TrendReport::worstDropPct() const
+{
+    double worst = 0.0;
+    for (const BenchTrend &b : benches)
+        worst = std::max(worst, -b.deltaPct);
+    return worst;
+}
+
+TrendReport
+buildTrend(const std::vector<BenchSuite> &suites)
+{
+    TrendReport report;
+    for (const BenchSuite &s : suites)
+        report.labels.push_back(s.label);
+
+    for (std::size_t si = 0; si < suites.size(); ++si) {
+        for (const BenchPerfRecord &rec : suites[si].benches) {
+            auto it = std::find_if(
+                report.benches.begin(), report.benches.end(),
+                [&](const BenchTrend &b) { return b.name == rec.name; });
+            if (it == report.benches.end()) {
+                BenchTrend t;
+                t.name = rec.name;
+                t.cps.assign(suites.size(), BenchTrend::kAbsent);
+                report.benches.push_back(std::move(t));
+                it = report.benches.end() - 1;
+            }
+            it->cps[si] = rec.cyclesPerSec;
+        }
+    }
+
+    for (BenchTrend &b : report.benches) {
+        const auto [first, last] = simulatingEndpoints(b.cps);
+        if (first >= 0 && last > first)
+            b.deltaPct = 100.0 * (b.cps[last] / b.cps[first] - 1.0);
+    }
+    return report;
+}
+
+void
+writeTrendTable(std::ostream &os, const TrendReport &report)
+{
+    os << std::left << std::setw(18) << "bench (cyc/s)";
+    for (const std::string &l : report.labels)
+        os << std::right << std::setw(13)
+           << (l.size() > 12 ? l.substr(0, 12) : l);
+    os << std::right << std::setw(9) << "delta" << "\n";
+    os << std::fixed;
+    for (const BenchTrend &b : report.benches) {
+        os << std::left << std::setw(18) << b.name;
+        for (double v : b.cps) {
+            if (v < 0.0)
+                os << std::right << std::setw(13) << "-";
+            else
+                os << std::right << std::setprecision(0)
+                   << std::setw(13) << v;
+        }
+        os << std::setw(8) << std::showpos << std::setprecision(1)
+           << b.deltaPct << std::noshowpos << "%\n";
+    }
+    os.unsetf(std::ios::floatfield);
+}
+
+void
+writeTrendJson(std::ostream &os, const TrendReport &report)
+{
+    os << "{\n \"schema\": \"beethoven-perf-trend-1\",\n \"points\": [";
+    for (std::size_t i = 0; i < report.labels.size(); ++i)
+        os << (i != 0 ? ", " : "") << "\"" << jsonEscape(report.labels[i])
+           << "\"";
+    os << "],\n \"benches\": [";
+    bool first_bench = true;
+    for (const BenchTrend &b : report.benches) {
+        os << (first_bench ? "" : ",") << "\n  {\n   \"name\": \""
+           << jsonEscape(b.name) << "\",\n   \"cycles_per_sec\": [";
+        first_bench = false;
+        for (std::size_t i = 0; i < b.cps.size(); ++i) {
+            os << (i != 0 ? ", " : "");
+            if (b.cps[i] < 0.0)
+                os << "null";
+            else
+                os << b.cps[i];
+        }
+        os << "],\n   \"delta_pct\": " << b.deltaPct << "\n  }";
+    }
+    os << "\n ]\n}\n";
+}
+
+} // namespace beethoven

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The perf trajectory across commits: fold an ordered sequence of
+ * BENCH suites (oldest first) into one per-bench cycles/sec series.
+ * Kept out of the CLI so the series/verdict rules are unit-tested
+ * directly (tests/perf_test.cc) and tools/perf_trend stays a thin
+ * shell over file discovery and rendering.
+ */
+
+#ifndef BEETHOVEN_PERF_TREND_H
+#define BEETHOVEN_PERF_TREND_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/bench_json.h"
+
+namespace beethoven
+{
+
+/** One bench's cycles/sec series across the measured commits. */
+struct BenchTrend
+{
+    std::string name;
+    /**
+     * cycles/sec per point, aligned with TrendReport::labels. A bench
+     * absent from a commit (coverage added later / lost) records a
+     * negative sentinel; 0 is a real value (elaboration-only bench).
+     */
+    std::vector<double> cps;
+    static constexpr double kAbsent = -1.0;
+
+    /**
+     * Relative change from the first to the last present point with a
+     * nonzero rate, in percent (+ = faster). 0 when fewer than two
+     * such points exist.
+     */
+    double deltaPct = 0.0;
+};
+
+struct TrendReport
+{
+    /** Suite labels, oldest first (the x axis). */
+    std::vector<std::string> labels;
+    /** One row per bench name, in first-appearance order. */
+    std::vector<BenchTrend> benches;
+
+    /**
+     * Largest first-to-last decline over all benches, in percent
+     * (>= 0; 0 when nothing declined).
+     */
+    double worstDropPct() const;
+};
+
+/** Fold @p suites (oldest first) into the per-bench trajectory. */
+TrendReport buildTrend(const std::vector<BenchSuite> &suites);
+
+/** Human-readable benches x commits table with first-to-last deltas. */
+void writeTrendTable(std::ostream &os, const TrendReport &report);
+
+/** Machine-readable document, schema "beethoven-perf-trend-1". */
+void writeTrendJson(std::ostream &os, const TrendReport &report);
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_PERF_TREND_H

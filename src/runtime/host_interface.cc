@@ -18,6 +18,9 @@ HostInterface::HostInterface(Simulator &sim, std::string name,
 void
 HostInterface::enqueue(HostOp op)
 {
+    if (op.kind == HostOp::Kind::DmaToDevice ||
+        op.kind == HostOp::Kind::DmaFromDevice)
+        ++_pendingDma;
     _queue.push_back(std::move(op));
 }
 
@@ -53,9 +56,11 @@ HostInterface::perform(HostOp &op)
         break;
       case HostOp::Kind::DmaToDevice:
         _mem.write(op.devAddr, op.len, op.hostSrc);
+        --_pendingDma;
         break;
       case HostOp::Kind::DmaFromDevice:
         _mem.read(op.devAddr, op.len, op.hostDst);
+        --_pendingDma;
         break;
     }
     if (op.done)

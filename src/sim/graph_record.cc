@@ -77,6 +77,10 @@ SimGraphRecord::SimGraphRecord()
     wheel.kind = "sim";
     wheel.site = std::source_location::current();
     wheel.spansAllShards = true;
+    wheel.resolution =
+        "the parallel kernel replaces the global wheel with one wake "
+        "wheel per execution group; cross-group wakes are armed by the "
+        "coordinator at epoch barriers";
     _shared.push_back(std::move(wheel));
 
     SharedState kpi;
@@ -84,6 +88,10 @@ SimGraphRecord::SimGraphRecord()
     kpi.kind = "sim";
     kpi.site = std::source_location::current();
     kpi.spansAllShards = true;
+    kpi.resolution =
+        "groups count ticks into their ShardContext; the coordinator "
+        "folds them into the process-global KPI counters at epoch "
+        "barriers";
     _shared.push_back(std::move(kpi));
 }
 
@@ -152,12 +160,13 @@ SimGraphRecord::setShard(Module *m, int shard)
 }
 
 void
-SimGraphRecord::registerQueue(const void *q, std::size_t capacity,
+SimGraphRecord::registerQueue(Committable *q, std::size_t capacity,
                               unsigned latency, SourceSite site)
 {
     QueueEdge &e = edgeFor(q);
     e = QueueEdge{};
     e.queue = q;
+    e.object = q;
     e.capacity = capacity;
     e.latency = latency;
     e.site = site;
@@ -216,6 +225,18 @@ void
 SimGraphRecord::addSharedState(SharedState state)
 {
     _shared.push_back(std::move(state));
+}
+
+void
+SimGraphRecord::resolveSharedState(const std::string &name,
+                                   std::string how)
+{
+    for (SharedState &st : _shared) {
+        if (st.name == name) {
+            st.resolution = std::move(how);
+            return;
+        }
+    }
 }
 
 } // namespace beethoven

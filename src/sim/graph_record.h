@@ -26,6 +26,7 @@ namespace beethoven
 {
 
 class Module;
+class Committable;
 
 /** Repo-relative suffix of @p path ("src/…", "tools/…", …) or basename. */
 std::string trimSourcePath(const char *path);
@@ -81,6 +82,9 @@ class SimGraphRecord
     struct QueueEdge
     {
         const void *queue = nullptr;
+        /** The queue as a Committable, for the parallel kernel's
+         *  split-mode activation (null for hand-recorded edges). */
+        Committable *object = nullptr;
         SourceSite site;        ///< where the queue was constructed
         std::size_t capacity = 0;
         unsigned latency = 0;
@@ -113,6 +117,14 @@ class SimGraphRecord
         std::vector<Module *> accessors;
         std::vector<int> extraShards; ///< shards that pull without a module
         bool spansAllShards = false;
+        /**
+         * How the cross-shard hazard is discharged under the parallel
+         * kernel ("" = unresolved). The shard analyzer downgrades a
+         * resolved site from a BTH110 warning to a BTH113 note, and
+         * the parallel kernel refuses to elaborate while any state
+         * reachable from more than one execution group is unresolved.
+         */
+        std::string resolution;
     };
 
     struct Shard
@@ -129,8 +141,8 @@ class SimGraphRecord
     void setSelfWake(Module *m, SourceSite site);
     void setShard(Module *m, int shard);
 
-    void registerQueue(const void *q, std::size_t capacity, unsigned latency,
-                       SourceSite site);
+    void registerQueue(Committable *q, std::size_t capacity,
+                       unsigned latency, SourceSite site);
     void recordPushWake(const void *q, Module *consumer, bool armed,
                         SourceSite site);
     void recordPopWake(const void *q, Module *producer, bool armed,
@@ -142,6 +154,13 @@ class SimGraphRecord
 
     void defineShard(int id, std::string name);
     void addSharedState(SharedState state);
+
+    /**
+     * Annotate the already-registered shared state @p name with the
+     * mechanism that makes it safe under the parallel kernel. No-op
+     * when the name is unknown (states registered conditionally).
+     */
+    void resolveSharedState(const std::string &name, std::string how);
 
     const std::vector<ModuleInfo> &modules() const { return _modules; }
     const std::vector<QueueEdge> &edges() const { return _edges; }

@@ -1,0 +1,617 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "base/log.h"
+#include "perf/host_profiler.h"
+
+namespace beethoven
+{
+
+namespace
+{
+
+constexpr std::size_t kNoSlackBound =
+    std::numeric_limits<std::size_t>::max();
+
+void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
+/** Union-find over the (sparse, arbitrary-valued) shard ids. */
+class ShardUnion
+{
+  public:
+    void
+    add(int id)
+    {
+        _parent.try_emplace(id, id);
+    }
+
+    int
+    find(int id)
+    {
+        int root = id;
+        while (_parent[root] != root)
+            root = _parent[root];
+        while (_parent[id] != root) {
+            const int next = _parent[id];
+            _parent[id] = root;
+            id = next;
+        }
+        return root;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        // Deterministic orientation: smaller id wins the root, so the
+        // group numbering is a pure function of the graph.
+        if (b < a)
+            std::swap(a, b);
+        _parent[b] = a;
+    }
+
+  private:
+    // Ordered map so iteration (and thus group numbering) is
+    // deterministic.
+    std::map<int, int> _parent;
+};
+
+} // namespace
+
+ParallelRuntime::ParallelRuntime(Simulator &sim) : _sim(sim)
+{
+    gateAttachments();
+    buildGroups();
+    gateSharedState();
+    splitCrossEdges();
+    migrateWakes();
+    startWorkers();
+}
+
+ParallelRuntime::~ParallelRuntime()
+{
+    _exit = true;
+    _arrived.store(0, std::memory_order_relaxed);
+    _generation.fetch_add(1, std::memory_order_release);
+    _generation.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ParallelRuntime::gateAttachments() const
+{
+    if (_sim.trace() != nullptr) {
+        fatal("parallel kernel: a TraceSink is attached; event tracing "
+              "appends to one buffer from every group and is not "
+              "supported multi-threaded (run tracing under "
+              "--sim-kernel=event)");
+    }
+    if (_sim.powerMeter() != nullptr) {
+        fatal("parallel kernel: a PowerMeter is attached; per-cycle "
+              "ledger sampling reads cross-group activity counters "
+              "(run power metering under --sim-kernel=event)");
+    }
+    const HostProfiler *prof = _sim.hostProfiler();
+    if (prof != nullptr && prof->mode() != HostProfiler::Mode::KpiOnly) {
+        fatal("parallel kernel: host profiler mode '%s' needs every "
+              "module ticked on one thread; only the KPI-only "
+              "heartbeat is supported",
+              prof->modeName());
+    }
+}
+
+void
+ParallelRuntime::buildGroups()
+{
+    const SimGraphRecord &rec = _sim.graphRecord();
+
+    // Shard stamp per module index.
+    std::vector<int> shard_of(_sim._modules.size(),
+                              SimGraphRecord::kNoShard);
+    for (const SimGraphRecord::ModuleInfo &info : rec.modules()) {
+        if (info.module != nullptr &&
+            info.module->index() < shard_of.size() &&
+            _sim._modules[info.module->index()] == info.module) {
+            shard_of[info.module->index()] = info.shard;
+        }
+    }
+    // A graph with no stamps at all was never partitioned (bare
+    // Simulator, no AcceleratorSoc): run it as one group, which is
+    // the event kernel on a single worker. Only a *partial* stamping
+    // is an error — parallelising around unstamped modules would put
+    // them in no group and silently skip their ticks.
+    const bool any_stamped =
+        std::any_of(shard_of.begin(), shard_of.end(), [](int s) {
+            return s != SimGraphRecord::kNoShard;
+        });
+    if (!any_stamped) {
+        std::fill(shard_of.begin(), shard_of.end(), 0);
+    } else {
+        for (std::size_t i = 0; i < shard_of.size(); ++i) {
+            if (shard_of[i] == SimGraphRecord::kNoShard) {
+                fatal("parallel kernel: module '%s' has no shard "
+                      "assignment (BTH112); stamp it via "
+                      "SimGraphRecord::setShard before the first step",
+                      _sim._modules[i]->name().c_str());
+            }
+        }
+    }
+
+    // Execution groups: same shard, plus any queue edge too fast to
+    // epoch-buffer (latency < 2 means a push is visible next cycle,
+    // i.e. inside any epoch longer than one cycle).
+    ShardUnion uf;
+    for (int s : shard_of)
+        uf.add(s);
+    for (const SimGraphRecord::QueueEdge &e : rec.edges()) {
+        if (e.producer == nullptr || e.consumer == nullptr)
+            continue;
+        if (e.producer->index() >= shard_of.size() ||
+            e.consumer->index() >= shard_of.size())
+            continue;
+        const int ps = shard_of[e.producer->index()];
+        const int cs = shard_of[e.consumer->index()];
+        if (ps != cs && e.latency < 2)
+            uf.unite(ps, cs);
+    }
+
+    // Deterministic group numbering: ascending root shard id.
+    std::map<int, int> group_of_root;
+    for (int s : shard_of) {
+        const int root = uf.find(s);
+        group_of_root.try_emplace(root,
+                                  static_cast<int>(group_of_root.size()));
+    }
+    // Re-number in sorted-root order for stability.
+    {
+        int next = 0;
+        for (auto &[root, idx] : group_of_root)
+            idx = next++;
+    }
+
+    _groups.clear();
+    for (std::size_t i = 0; i < group_of_root.size(); ++i) {
+        auto ctx = std::make_unique<ShardContext>();
+        ctx->group = static_cast<int>(i);
+        ctx->cycle = _sim._cycle;
+        ctx->lastProgress = _sim._lastProgress;
+        _groups.push_back(std::move(ctx));
+    }
+    _groupOf.assign(shard_of.size(), -1);
+    for (std::size_t i = 0; i < shard_of.size(); ++i) {
+        const int g = group_of_root.at(uf.find(shard_of[i]));
+        _groupOf[i] = g;
+        _groups[g]->modules.push_back(_sim._modules[i]);
+    }
+    // _modules is registration order == ascending index, so each
+    // group's list is already in tick order.
+}
+
+void
+ParallelRuntime::gateSharedState() const
+{
+    const SimGraphRecord &rec = _sim.graphRecord();
+
+    // Shard id -> group for extraShards lookups.
+    std::map<int, int> shard_group;
+    for (const SimGraphRecord::ModuleInfo &info : rec.modules()) {
+        if (info.module != nullptr &&
+            info.module->index() < _groupOf.size() &&
+            _sim._modules[info.module->index()] == info.module) {
+            shard_group[info.shard] = _groupOf[info.module->index()];
+        }
+    }
+
+    for (const SimGraphRecord::SharedState &st : rec.sharedStates()) {
+        int first = -1;
+        bool crosses = st.spansAllShards && _groups.size() > 1;
+        auto touch = [&](int group) {
+            if (group < 0)
+                return;
+            if (first == -1)
+                first = group;
+            else if (group != first)
+                crosses = true;
+        };
+        for (const Module *m : st.accessors) {
+            if (m != nullptr && m->index() < _groupOf.size() &&
+                _sim._modules[m->index()] == m)
+                touch(_groupOf[m->index()]);
+        }
+        for (int s : st.extraShards) {
+            auto it = shard_group.find(s);
+            if (it != shard_group.end())
+                touch(it->second);
+        }
+        if (crosses && st.resolution.empty()) {
+            fatal("parallel kernel: shared state '%s' (%s, registered "
+                  "at %s) is reachable from more than one execution "
+                  "group and has no registered resolution (BTH110); "
+                  "resolve it via SimGraphRecord::resolveSharedState",
+                  st.name.c_str(), st.kind.c_str(), st.site.str().c_str());
+        }
+    }
+}
+
+void
+ParallelRuntime::splitCrossEdges()
+{
+    const SimGraphRecord &rec = _sim.graphRecord();
+    _quantum = 0;
+    for (const SimGraphRecord::QueueEdge &e : rec.edges()) {
+        if (e.producer == nullptr || e.consumer == nullptr)
+            continue;
+        if (e.producer->index() >= _groupOf.size() ||
+            e.consumer->index() >= _groupOf.size())
+            continue;
+        if (_sim._modules[e.producer->index()] != e.producer ||
+            _sim._modules[e.consumer->index()] != e.consumer)
+            continue;
+        const int pg = _groupOf[e.producer->index()];
+        const int cg = _groupOf[e.consumer->index()];
+        if (pg == cg)
+            continue;
+        beethoven_assert(e.latency >= 2,
+                         "cross-group edge with latency < 2 survived "
+                         "group coalescing");
+        if (e.object == nullptr || !e.object->enterSplitMode()) {
+            fatal("parallel kernel: queue registered at %s crosses "
+                  "groups (%s -> %s) but does not support split mode",
+                  e.site.str().c_str(), e.producer->name().c_str(),
+                  e.consumer->name().c_str());
+        }
+        _splits.push_back(Split{e.object, e.producer, e.consumer,
+                                e.latency});
+        if (_quantum == 0 || e.latency < _quantum)
+            _quantum = e.latency;
+    }
+    // Seed the slack bound from the split queues' current free space.
+    _minSlack = kNoSlackBound;
+    drainSplits(_sim._cycle);
+}
+
+void
+ParallelRuntime::migrateWakes()
+{
+    gSimThreadRole.assertHeld();
+    _sim._wheel.extractAll([&](Cycle at, Module *m) {
+        if (m->index() >= _groupOf.size() ||
+            _sim._modules[m->index()] != m)
+            return; // stale entry for a dead transient module
+        if (at <= _sim._cycle) {
+            m->_awake = true;
+            return;
+        }
+        ctxOf(m).wheel.schedule(_sim._cycle, at, m);
+    });
+}
+
+void
+ParallelRuntime::startWorkers()
+{
+    unsigned want = _sim._parallelThreads;
+    if (want == 0 || want > _groups.size())
+        want = static_cast<unsigned>(_groups.size());
+    _assignment.assign(want, {});
+    for (std::size_t g = 0; g < _groups.size(); ++g)
+        _assignment[g % want].push_back(_groups[g].get());
+    // Spin before the futex wait only when cores are actually free to
+    // spin on: the coordinator plus every worker gets one.
+    const unsigned hw = std::thread::hardware_concurrency();
+    _spin = (hw > want) ? 20000 : 0;
+    _workers.reserve(want);
+    for (unsigned wi = 0; wi < want; ++wi)
+        _workers.emplace_back([this, wi] { workerMain(wi); });
+}
+
+ShardContext &
+ParallelRuntime::ctxOf(const Module *m)
+{
+    return *_groups[_groupOf[m->index()]];
+}
+
+int
+ParallelRuntime::groupOfModule(const Module *m) const
+{
+    if (m == nullptr || m->index() >= _groupOf.size())
+        return -1;
+    return _groupOf[m->index()];
+}
+
+std::size_t
+ParallelRuntime::pendingGroupWakes() const
+{
+    gSimThreadRole.assertHeld();
+    std::size_t n = 0;
+    for (const auto &g : _groups)
+        n += g->wheel.pending();
+    return n;
+}
+
+bool
+ParallelRuntime::fenceActive() const
+{
+    for (const auto &fn : _sim._serialFences) {
+        if (fn())
+            return true;
+    }
+    return false;
+}
+
+/** Barrier-time services handed to TimedQueue::drainSplit. */
+class ParallelRuntime::DrainHost final : public SplitDrainHost
+{
+  public:
+    DrainHost(ParallelRuntime &rt, Cycle barrier)
+        : _rt(rt), _barrier(barrier)
+    {
+    }
+
+    Cycle barrierCycle() const override { return _barrier; }
+
+    void
+    armWake(Module *m, Cycle at) override
+    {
+        beethoven_assert(at >= _barrier, "drain wake in the past");
+        if (at == _barrier) {
+            m->_awake = true;
+            return;
+        }
+        if (m->_lastScheduledWake == at)
+            return;
+        m->_lastScheduledWake = at;
+        _rt.ctxOf(m).wheel.schedule(_barrier, at, m);
+    }
+
+    void
+    noteSlack(std::size_t slack) override
+    {
+        _minSlack = std::min(_minSlack, slack);
+    }
+
+    std::size_t minSlack() const { return _minSlack; }
+
+  private:
+    ParallelRuntime &_rt;
+    Cycle _barrier;
+    std::size_t _minSlack = kNoSlackBound;
+};
+
+void
+ParallelRuntime::drainSplits(Cycle barrier)
+{
+    gSimThreadRole.assertHeld();
+    DrainHost host(*this, barrier);
+    for (const Split &s : _splits)
+        s.object->drainSplit(host);
+    _minSlack = host.minSlack();
+}
+
+void
+ParallelRuntime::runEpochOn(ShardContext &ctx, Cycle start, Cycle len)
+{
+    gSimThreadRole.assertHeld();
+    u64 ticks = 0;
+    for (Cycle c = start; c < start + len; ++c) {
+        ctx.cycle = c;
+        ctx.wheel.drain(c, [](Module *m) { m->_awake = true; });
+        ctx.inTick = true;
+        for (Module *m : ctx.modules) {
+            if (!m->_awake)
+                continue;
+            ctx.cursor = m->index();
+            m->tick();
+            ++ticks;
+        }
+        ctx.inTick = false;
+        for (Committable *qc : ctx.dirtyCommits)
+            qc->commit();
+        ctx.dirtyCommits.clear();
+    }
+    ctx.cycle = start + len;
+    ctx.ticks += ticks;
+}
+
+void
+ParallelRuntime::workerMain(unsigned wi)
+{
+    gSimThreadRole.assertHeld();
+    u64 seen = 0;
+    for (;;) {
+        u64 gen = _generation.load(std::memory_order_acquire);
+        unsigned spins = 0;
+        while (gen == seen) {
+            if (spins < _spin) {
+                ++spins;
+                cpuRelax();
+            } else {
+                _generation.wait(gen, std::memory_order_acquire);
+            }
+            gen = _generation.load(std::memory_order_acquire);
+        }
+        seen = gen;
+        if (_exit)
+            break;
+        for (ShardContext *ctx : _assignment[wi]) {
+            gShardContext = ctx;
+            runEpochOn(*ctx, _epochStart, _epochLen);
+        }
+        gShardContext = nullptr;
+        _arrived.fetch_add(1, std::memory_order_release);
+        _arrived.notify_one();
+    }
+}
+
+void
+ParallelRuntime::mergedCycle()
+{
+    gSimThreadRole.assertHeld();
+    const Cycle c = _sim._cycle;
+    for (auto &g : _groups) {
+        g->cycle = c;
+        g->wheel.drain(c, [](Module *m) { m->_awake = true; });
+    }
+    // Global module-index order — the serial kernels' tick order —
+    // with the thread-local context switched per module so wake and
+    // dirty routing land in the owning group.
+    for (Module *m : _sim._modules) {
+        if (!m->_awake)
+            continue;
+        ShardContext &ctx = *_groups[_groupOf[m->index()]];
+        gShardContext = &ctx;
+        ctx.inTick = true;
+        ctx.cursor = m->index();
+        m->tick();
+        ++ctx.ticks;
+    }
+    gShardContext = nullptr;
+    for (auto &g : _groups) {
+        g->inTick = false;
+        for (Committable *qc : g->dirtyCommits)
+            qc->commit();
+        g->dirtyCommits.clear();
+    }
+    ++_mergedCycles;
+    drainSplits(c + 1);
+    barrierBookkeeping(c + 1, 1);
+}
+
+void
+ParallelRuntime::barrierBookkeeping(Cycle new_cycle, Cycle epoch_len)
+{
+    u64 ticks = 0;
+    Cycle progress = _sim._lastProgress;
+    for (auto &g : _groups) {
+        ticks += g->ticks;
+        g->ticks = 0;
+        if (g->lastProgress > progress)
+            progress = g->lastProgress;
+        g->cycle = new_cycle;
+    }
+    _sim._lastProgress = progress;
+    _sim._cycle = new_cycle;
+    detail::addGlobalSimKpi(epoch_len, ticks);
+    if (HostProfiler *prof = _sim.hostProfiler()) {
+        for (Cycle i = 0; i < epoch_len; ++i)
+            prof->onCycle();
+    }
+    if (!_sim._invariants.empty() &&
+        new_cycle % Simulator::kInvariantPeriod == 0) {
+        _sim.checkInvariants();
+    }
+    if (_sim._watchdogLimit != 0 &&
+        new_cycle - _sim._lastProgress > _sim._watchdogLimit) {
+        _sim.dumpHangDiagnostics(std::cerr);
+        fatal("simulation hang: no module made forward progress for "
+              "%llu cycles (at cycle %llu)",
+              static_cast<unsigned long long>(new_cycle -
+                                              _sim._lastProgress),
+              static_cast<unsigned long long>(new_cycle));
+    }
+}
+
+void
+ParallelRuntime::runCycles(Cycle n)
+{
+    gSimThreadRole.assertHeld();
+    beethoven_assert(_groupOf.size() == _sim._modules.size(),
+                     "module registered after the parallel kernel "
+                     "partitioned the graph");
+    Cycle remaining = n;
+    while (remaining > 0) {
+        if (fenceActive()) {
+            mergedCycle();
+            --remaining;
+            continue;
+        }
+        Cycle e = remaining;
+        if (_quantum != 0 && _quantum < e)
+            e = _quantum;
+        if (!_splits.empty()) {
+            // A full split queue (slack 0) forces lockstep: the pop
+            // credit crossing at the next barrier is exactly the
+            // pop-frees-space-at-C+1 rule of the serial kernels.
+            const Cycle slack_cap =
+                _minSlack == 0 ? 1 : static_cast<Cycle>(_minSlack);
+            if (slack_cap < e)
+                e = slack_cap;
+        }
+        if (!_sim._invariants.empty()) {
+            const Cycle to_boundary =
+                Simulator::kInvariantPeriod -
+                _sim._cycle % Simulator::kInvariantPeriod;
+            if (to_boundary < e)
+                e = to_boundary;
+        }
+        _epochStart = _sim._cycle;
+        _epochLen = e;
+        _lastEpoch = e;
+        _arrived.store(0, std::memory_order_relaxed);
+        _generation.fetch_add(1, std::memory_order_release);
+        _generation.notify_all();
+        const unsigned want = static_cast<unsigned>(_workers.size());
+        unsigned arrived = _arrived.load(std::memory_order_acquire);
+        unsigned spins = 0;
+        while (arrived != want) {
+            if (spins < _spin) {
+                ++spins;
+                cpuRelax();
+            } else {
+                _arrived.wait(arrived, std::memory_order_acquire);
+            }
+            arrived = _arrived.load(std::memory_order_acquire);
+        }
+        drainSplits(_sim._cycle + e);
+        barrierBookkeeping(_sim._cycle + e, e);
+        remaining -= e;
+    }
+}
+
+void
+ParallelRuntime::armWakeOutside(Module *m, Cycle at)
+{
+    gSimThreadRole.assertHeld();
+    if (at <= _sim._cycle) {
+        m->_awake = true;
+        return;
+    }
+    if (m->_lastScheduledWake == at)
+        return;
+    m->_lastScheduledWake = at;
+    ctxOf(m).wheel.schedule(_sim._cycle, at, m);
+}
+
+void
+Simulator::parallelRun(Cycle n)
+{
+    gSimThreadRole.assertHeld();
+    if (_parallel == nullptr)
+        _parallel = std::make_unique<ParallelRuntime>(*this);
+    if (n > 0)
+        _parallel->runCycles(n);
+}
+
+const ParallelRuntime *
+Simulator::parallelRuntime() const
+{
+    return _parallel.get();
+}
+
+} // namespace beethoven

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ParallelRuntime — the multi-threaded sharded kernel (DESIGN.md §4a).
+ *
+ * The module graph is partitioned into *execution groups* along the
+ * host/SLR/memory shard assignment registered in SimGraphRecord:
+ * modules with the same shard share a group, and any queue edge with
+ * latency < 2 merges its endpoints' groups (sub-2-cycle visibility
+ * cannot be epoch-buffered). Each group runs the PR 8 event kernel —
+ * unchanged — against its own ShardContext on a worker thread.
+ *
+ * Groups synchronize at epoch barriers. An epoch's length is capped by
+ *   - the epoch quantum: the minimum latency over cross-group queues
+ *     (a push cannot become visible to its consumer mid-epoch);
+ *   - the minimum free space over cross-group queues at the last
+ *     barrier (producers push at most once per cycle, so a producer's
+ *     occupancy mirror stays exact and canPush() never lies);
+ *   - the distance to the next invariant-check boundary and the
+ *     remaining cycle budget.
+ * Cross-group queues run in split mode (TimedQueue::drainSplit): the
+ * producer parks pushes in a per-edge mailbox, the consumer pops
+ * delivered entries, and the coordinator exchanges both at barriers in
+ * queue-registration order — a fixed, thread-count-independent order,
+ * which together with the exact-visibility argument above keeps
+ * digests bit-identical to the tick and event kernels.
+ *
+ * While any registered serial fence holds (e.g. host DMA writing the
+ * functional memory the DRAM model reads), the coordinator instead
+ * steps merged single cycles in global module order, preserving the
+ * serial kernels' tick order exactly.
+ */
+
+#ifndef BEETHOVEN_SIM_PARALLEL_H
+#define BEETHOVEN_SIM_PARALLEL_H
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/simulator.h"
+
+namespace beethoven
+{
+
+class ParallelRuntime
+{
+  public:
+    /**
+     * Partition the graph, gate shard readiness (every module stamped,
+     * every cross-group shared state resolved, every cross-group queue
+     * split-capable with known endpoints), switch cross-group queues
+     * to split mode, migrate armed wakes to their groups' wheels, and
+     * start the worker threads. Throws ConfigError on any gate
+     * violation.
+     */
+    explicit ParallelRuntime(Simulator &sim);
+    ~ParallelRuntime();
+
+    ParallelRuntime(const ParallelRuntime &) = delete;
+    ParallelRuntime &operator=(const ParallelRuntime &) = delete;
+
+    /** Advance the SoC exactly @p n cycles. */
+    void runCycles(Cycle n);
+
+    /**
+     * Arm a wake from the main thread between runs (workers parked):
+     * routed to the owning group's wheel.
+     */
+    void armWakeOutside(Module *m, Cycle at);
+
+    // ---- introspection (tests, telemetry; barrier-time views) ----
+    std::size_t groupCount() const { return _groups.size(); }
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+    /** Minimum cross-group queue latency; 0 when no cross edges. */
+    Cycle epochQuantum() const { return _quantum; }
+    std::size_t splitQueueCount() const { return _splits.size(); }
+    int groupOfModule(const Module *m) const;
+    std::size_t pendingGroupWakes() const;
+    /** Length of the most recently executed (non-merged) epoch. */
+    Cycle lastEpochLength() const { return _lastEpoch; }
+    /** Cycles stepped in serial-fence merged mode so far. */
+    u64 mergedCycleCount() const { return _mergedCycles; }
+
+  private:
+    struct Split
+    {
+        Committable *object = nullptr;
+        Module *producer = nullptr;
+        Module *consumer = nullptr;
+        unsigned latency = 0;
+    };
+
+    class DrainHost;
+
+    void buildGroups();
+    void gateAttachments() const;
+    void gateSharedState() const;
+    void splitCrossEdges();
+    void migrateWakes();
+    void startWorkers();
+
+    void workerMain(unsigned wi);
+    void runEpochOn(ShardContext &ctx, Cycle start, Cycle len);
+    void mergedCycle();
+    void drainSplits(Cycle barrier);
+    void barrierBookkeeping(Cycle new_cycle, Cycle epoch_len);
+    bool fenceActive() const;
+    ShardContext &ctxOf(const Module *m);
+
+    Simulator &_sim;
+    std::vector<std::unique_ptr<ShardContext>> _groups;
+    /** Module index -> group index. */
+    std::vector<int> _groupOf;
+    /** Cross-group split queues, in queue-registration order. */
+    std::vector<Split> _splits;
+    Cycle _quantum = 0;
+    /** Min free space over split queues as of the last barrier. */
+    std::size_t _minSlack = 0;
+    Cycle _lastEpoch = 0;
+    u64 _mergedCycles = 0;
+
+    /** Groups each worker runs, round-robin by group index. */
+    std::vector<std::vector<ShardContext *>> _assignment;
+    std::vector<std::thread> _workers;
+
+    // Epoch barrier: the coordinator publishes (_epochStart, _epochLen)
+    // and bumps _generation (release); workers run their groups and
+    // count into _arrived (release). std::atomic wait/notify parks
+    // both sides on the futex path; a bounded spin first when the
+    // machine has cores to spare.
+    std::atomic<u64> _generation{0};
+    std::atomic<unsigned> _arrived{0};
+    Cycle _epochStart = 0;
+    Cycle _epochLen = 0;
+    bool _exit = false;
+    unsigned _spin = 0;
+};
+
+} // namespace beethoven
+
+#endif // BEETHOVEN_SIM_PARALLEL_H

@@ -327,9 +327,13 @@ TEST(SocAnalysis, ElaboratedSocIsAnalyzeClean)
                              platform);
     const auto rep = soc.analyzeGraph();
     EXPECT_FALSE(rep.hasErrors()) << rep.format();
-    // The shard audit must still see the known cross-shard state.
-    EXPECT_TRUE(rep.has("BTH110"));
+    // Every cross-shard state carries a resolution (the parallel
+    // kernel depends on it), so the audit reports resolved notes and
+    // crossing edges but zero BTH110 warnings.
+    EXPECT_FALSE(rep.has("BTH110")) << rep.format();
+    EXPECT_TRUE(rep.has("BTH113"));
     EXPECT_TRUE(rep.has("BTH111"));
+    EXPECT_EQ(rep.warningCount(), 0u) << rep.format();
 }
 
 TEST(SocAnalysis, CensusMatchesCompositionModel)

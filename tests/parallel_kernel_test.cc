@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Parallel-kernel unit tests: split-queue mailbox semantics (pushes
+ * park until the barrier, pop credits return exactly there, the
+ * producer mirror keeps canPush() exact so an epoch can never tear),
+ * epoch sizing from the minimum cross-group queue latency, the
+ * host/SLR/memory partition on the paper's AWS F1 composition, worker
+ * thread clamping, serial-fence merged cycles, and the observability
+ * gates (trace/power refuse to start multi-threaded).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "accel/machsuite/gemm.h"
+#include "base/log.h"
+#include "base/rng.h"
+#include "baselines/machsuite_golden.h"
+#include "platform/aws_f1.h"
+#include "runtime/fpga_handle.h"
+#include "sim/parallel.h"
+#include "sim/queue.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace beethoven
+{
+namespace
+{
+
+/** Inert module: split queues only need producer/consumer identity. */
+class Dummy : public Module
+{
+  public:
+    Dummy(Simulator &sim, std::string name)
+        : Module(sim, std::move(name))
+    {}
+    void tick() override {}
+};
+
+/** Recording SplitDrainHost standing in for the epoch coordinator. */
+class FakeDrainHost : public SplitDrainHost
+{
+  public:
+    explicit FakeDrainHost(Cycle barrier) : _barrier(barrier) {}
+
+    Cycle barrierCycle() const override { return _barrier; }
+    void
+    armWake(Module *m, Cycle at) override
+    {
+        wakes.emplace_back(m, at);
+    }
+    void noteSlack(std::size_t s) override { slack = s; }
+
+    std::vector<std::pair<Module *, Cycle>> wakes;
+    std::size_t slack = static_cast<std::size_t>(-1);
+
+  private:
+    Cycle _barrier;
+};
+
+// --- Split-queue mailbox semantics ---------------------------------
+
+TEST(SplitQueue, MailboxParksPushesUntilBarrier)
+{
+    Simulator sim;
+    Dummy consumer(sim, "consumer");
+    TimedQueue<int> q(sim, /*capacity=*/8, /*latency=*/4);
+    q.setWakeOnPush(&consumer);
+    ASSERT_TRUE(q.enterSplitMode());
+
+    // The push is held on the producer's side: occupancy (the mirror)
+    // grows immediately, but nothing is poppable before the drain.
+    q.push(42);
+    EXPECT_EQ(q.occupancy(), 1u);
+    EXPECT_FALSE(q.canPop());
+
+    FakeDrainHost host(/*barrier=*/4);
+    q.drainSplit(host);
+
+    // Identical visibility to the serial commit: pushed at cycle 0
+    // with latency 4 means poppable at cycle 4, and the consumer's
+    // wake is armed for exactly that cycle.
+    ASSERT_EQ(host.wakes.size(), 1u);
+    EXPECT_EQ(host.wakes[0].first, &consumer);
+    EXPECT_EQ(host.wakes[0].second, 4u);
+    EXPECT_EQ(host.slack, 7u);
+
+    sim.run(4);
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 42);
+}
+
+TEST(SplitQueue, DrainDeliversInPushOrderWithPerPushVisibility)
+{
+    Simulator sim;
+    Dummy consumer(sim, "consumer");
+    TimedQueue<int> q(sim, /*capacity=*/8, /*latency=*/2);
+    q.setWakeOnPush(&consumer);
+    ASSERT_TRUE(q.enterSplitMode());
+
+    // One push per cycle (the split-mode contract) across an epoch of
+    // length 2: each entry keeps its own push-cycle + latency ready
+    // time, not the barrier's.
+    q.push(1);
+    sim.run(1);
+    q.push(2);
+    sim.run(1); // now at cycle 2
+
+    FakeDrainHost host(/*barrier=*/2);
+    q.drainSplit(host);
+    ASSERT_EQ(host.wakes.size(), 2u);
+    EXPECT_EQ(host.wakes[0].second, 2u); // pushed @0, ready @2
+    EXPECT_EQ(host.wakes[1].second, 3u); // pushed @1, ready @3
+
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.canPop()) << "second entry must wait for cycle 3";
+    sim.run(1);
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(SplitQueue, PopCreditsReturnAtBarrierAndWakeProducer)
+{
+    Simulator sim;
+    Dummy producer(sim, "producer");
+    TimedQueue<int> q(sim, /*capacity=*/2, /*latency=*/2);
+    q.setWakeOnPop(&producer);
+    ASSERT_TRUE(q.enterSplitMode());
+
+    q.push(7);
+    sim.run(1);
+    q.push(8);
+    // Mirror is exact: the queue is full from the producer's view the
+    // instant of the second push, with no barrier in between. This is
+    // the torn-epoch regression — a stale occupancy here would let a
+    // third push overflow the capacity-2 queue mid-epoch.
+    EXPECT_FALSE(q.canPush());
+
+    sim.run(1); // cycle 2: both entries delivered by the drain below
+    FakeDrainHost deliver(/*barrier=*/2);
+    q.drainSplit(deliver);
+    EXPECT_EQ(deliver.slack, 0u) << "full queue must report zero slack";
+
+    // Consumer-side pops stay epoch-local; the credit (and the
+    // producer's pop wake) crosses back at the next barrier only.
+    ASSERT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop(), 7);
+    EXPECT_FALSE(q.canPush()) << "credit must not cross mid-epoch";
+
+    sim.run(1);
+    FakeDrainHost credit(/*barrier=*/3);
+    q.drainSplit(credit);
+    EXPECT_TRUE(q.canPush());
+    EXPECT_EQ(credit.slack, 1u);
+    ASSERT_EQ(credit.wakes.size(), 1u);
+    EXPECT_EQ(credit.wakes[0].first, &producer);
+    EXPECT_EQ(credit.wakes[0].second, 3u);
+}
+
+// --- Whole-SoC partition, epoch sizing, and gates ------------------
+
+/**
+ * The paper's fig. 6 shape: four gemm cores floorplanned across the
+ * AWS F1 SLRs. Runs one gemm end to end under the parallel kernel and
+ * returns the SoC so the test can inspect the runtime's partition.
+ */
+void
+runGemmOnF1(AcceleratorSoc &soc)
+{
+    using machsuite::GemmCore;
+    RuntimeServer server(soc);
+    fpga_handle_t handle(server);
+
+    const unsigned n = 16;
+    Rng rng(n);
+    std::vector<i32> a(n * n), bt(n * n);
+    for (auto &v : a)
+        v = static_cast<i32>(rng.nextRange(0, 200)) - 100;
+    for (auto &v : bt)
+        v = static_cast<i32>(rng.nextRange(0, 200)) - 100;
+    remote_ptr a_mem = handle.malloc(n * n * 4);
+    remote_ptr bt_mem = handle.malloc(n * n * 4);
+    remote_ptr c_mem = handle.malloc(n * n * 4);
+    std::memcpy(a_mem.getHostAddr(), a.data(), n * n * 4);
+    std::memcpy(bt_mem.getHostAddr(), bt.data(), n * n * 4);
+    handle.copy_to_fpga(a_mem);
+    handle.copy_to_fpga(bt_mem);
+    handle
+        .invoke("GemmSystem", "gemm", 0,
+                {a_mem.getFpgaAddr(), bt_mem.getFpgaAddr(),
+                 c_mem.getFpgaAddr(), n})
+        .get();
+    handle.copy_from_fpga(c_mem);
+
+    const auto golden = machsuite::goldenGemm(a, bt, n);
+    const i32 *c = c_mem.as<i32>();
+    for (unsigned i = 0; i < n * n; ++i)
+        EXPECT_EQ(c[i], golden[i]) << "idx=" << i;
+}
+
+TEST(ParallelKernel, F1PartitionEpochSizingAndMergedFences)
+{
+    using machsuite::GemmCore;
+    AwsF1Platform platform;
+    AcceleratorConfig cfg;
+    cfg.systems.push_back(GemmCore::systemConfig(4));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    soc.sim().setKernel(SimKernel::Parallel);
+    soc.sim().setParallelThreads(2);
+    runGemmOnF1(soc);
+
+    const ParallelRuntime *rt = soc.sim().parallelRuntime();
+    ASSERT_NE(rt, nullptr) << "first parallel step must build the runtime";
+
+    // Host, SLR fabric, and memory shards partition into execution
+    // groups; sub-2-cycle edges merge their endpoints, everything else
+    // stays separate and communicates through split queues.
+    EXPECT_GE(rt->groupCount(), 2u);
+    EXPECT_GT(rt->splitQueueCount(), 0u);
+    EXPECT_EQ(rt->workerCount(), 2u);
+
+    // Epoch quantum = min latency over cross-group queues. Every
+    // cross-group edge must be epoch-bufferable (latency >= 2), and on
+    // AWS F1 no crossing is slower than the SLR hop.
+    const NocParams noc = platform.nocParams();
+    EXPECT_GE(rt->epochQuantum(), 2u);
+    EXPECT_LE(rt->epochQuantum(), noc.slrCrossingLatency);
+    EXPECT_GE(rt->lastEpochLength(), 1u);
+    EXPECT_LE(rt->lastEpochLength(), rt->epochQuantum());
+
+    // Host DMA raised the serial fence, so part of the run stepped in
+    // merged single-cycle mode — and the fence must have released
+    // (the gemm completed above), so not all of it did.
+    EXPECT_GT(rt->mergedCycleCount(), 0u);
+    EXPECT_LT(rt->mergedCycleCount(), soc.sim().cycle());
+}
+
+TEST(ParallelKernel, ThreadCountClampsToGroupCount)
+{
+    using machsuite::GemmCore;
+    AwsF1Platform platform;
+    AcceleratorConfig cfg;
+    cfg.systems.push_back(GemmCore::systemConfig(4));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    soc.sim().setKernel(SimKernel::Parallel);
+    soc.sim().setParallelThreads(64);
+    runGemmOnF1(soc);
+
+    const ParallelRuntime *rt = soc.sim().parallelRuntime();
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->workerCount(), rt->groupCount())
+        << "threads beyond the group count must be clamped away";
+}
+
+TEST(ParallelKernel, UnstampedGraphRunsAsSingleGroup)
+{
+    // A bare Simulator (no AcceleratorSoc, so no shard stamps at all)
+    // must degenerate to one group — the event kernel on a single
+    // worker — rather than fatal. Only partial stamping is an error.
+    Simulator sim;
+    Dummy a(sim, "a");
+    Dummy b(sim, "b");
+    sim.setKernel(SimKernel::Parallel);
+    sim.setParallelThreads(4);
+    sim.run(16);
+
+    const ParallelRuntime *rt = sim.parallelRuntime();
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->groupCount(), 1u);
+    EXPECT_EQ(rt->workerCount(), 1u);
+    EXPECT_EQ(rt->splitQueueCount(), 0u);
+    EXPECT_EQ(sim.cycle(), 16u);
+}
+
+TEST(ParallelKernel, RefusesSerialOnlyObservability)
+{
+    // A TraceSink appends to one buffer from every group; the runtime
+    // must refuse to start rather than race on it.
+    using machsuite::GemmCore;
+    AwsF1Platform platform;
+    AcceleratorConfig cfg;
+    cfg.systems.push_back(GemmCore::systemConfig(1));
+    AcceleratorSoc soc(std::move(cfg), platform);
+    TraceSink sink;
+    soc.sim().attachTrace(&sink);
+    soc.sim().setKernel(SimKernel::Parallel);
+    EXPECT_THROW(soc.sim().run(1), ConfigError);
+}
+
+} // namespace
+} // namespace beethoven

@@ -23,6 +23,7 @@
 #include "perf/host_clock.h"
 #include "perf/host_profiler.h"
 #include "perf/kpi.h"
+#include "perf/trend.h"
 #include "platform/sim_platform.h"
 #include "runtime/fpga_handle.h"
 #include "sim/module.h"
@@ -398,6 +399,59 @@ TEST(PerfCompare, FlagsSlowdownsPastToleranceOnly)
     EXPECT_EQ(res.deltas[1].verdict, BenchVerdict::Regressed);
     EXPECT_NEAR(res.deltas[1].deltaPct, -20.0, 0.01);
     EXPECT_TRUE(res.regressed());
+}
+
+TEST(PerfTrend, SeriesAlignAcrossCommitsWithAbsenceSentinel)
+{
+    BenchSuite a, b, c;
+    a.label = "seed";
+    b.label = "pr1";
+    c.label = "pr2";
+    a.benches.push_back(cpsRecord("steady", 1000.0, 500));
+    b.benches.push_back(cpsRecord("steady", 1100.0, 450));
+    c.benches.push_back(cpsRecord("steady", 1200.0, 400));
+    // Coverage added at pr1: the seed point records the sentinel and
+    // the delta spans pr1 -> pr2 only.
+    b.benches.push_back(cpsRecord("late", 2000.0, 100));
+    c.benches.push_back(cpsRecord("late", 1000.0, 200));
+
+    const TrendReport rep = buildTrend({a, b, c});
+    ASSERT_EQ(rep.labels.size(), 3u);
+    ASSERT_EQ(rep.benches.size(), 2u);
+    EXPECT_EQ(rep.benches[0].name, "steady");
+    EXPECT_NEAR(rep.benches[0].deltaPct, 20.0, 0.01);
+    EXPECT_EQ(rep.benches[1].cps[0], BenchTrend::kAbsent);
+    EXPECT_NEAR(rep.benches[1].deltaPct, -50.0, 0.01);
+    EXPECT_NEAR(rep.worstDropPct(), 50.0, 0.01);
+}
+
+TEST(PerfTrend, ElaborationOnlyBenchesNeverFeedTheDelta)
+{
+    BenchSuite a, b;
+    a.label = "seed";
+    b.label = "pr1";
+    a.benches.push_back(cpsRecord("elab", 0.0, 5));
+    b.benches.push_back(cpsRecord("elab", 0.0, 9));
+    const TrendReport rep = buildTrend({a, b});
+    ASSERT_EQ(rep.benches.size(), 1u);
+    EXPECT_EQ(rep.benches[0].deltaPct, 0.0);
+    EXPECT_EQ(rep.worstDropPct(), 0.0);
+}
+
+TEST(PerfTrend, JsonCarriesSchemaAndNullsAbsences)
+{
+    BenchSuite a, b;
+    a.label = "seed";
+    b.label = "pr1";
+    a.benches.push_back(cpsRecord("only_seed", 1000.0, 500));
+    b.benches.push_back(cpsRecord("only_pr1", 2000.0, 250));
+    std::ostringstream os;
+    writeTrendJson(os, buildTrend({a, b}));
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("beethoven-perf-trend-1"), std::string::npos);
+    EXPECT_NE(doc.find("null"), std::string::npos);
+    // The document must round-trip through the project's own parser.
+    EXPECT_NO_THROW(parseJson(doc));
 }
 
 TEST(PerfCompare, FasterCandidateIsNeverARegression)

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * perf_trend — the multi-commit perf trajectory (DESIGN.md §4e).
+ *
+ * Where perf_compare diffs exactly two BENCH_<label>.json files,
+ * perf_trend folds the whole committed sequence into one per-bench
+ * cycles/sec series: either the files given on the command line
+ * (oldest first), or every perf/BENCH_*.json discovered under --dir
+ * and ordered by git commit time (files git does not know about sort
+ * last, lexicographically, so uncommitted candidates appear at the
+ * end of the trajectory).
+ *
+ * Usage:
+ *   perf_trend [--json] [--fail-on-drop=PCT] [--dir=PATH | FILE...]
+ *
+ * Exit codes: 0 rendered, 2 first-to-last decline beyond
+ * --fail-on-drop, 3 usage error or malformed/unreadable input — the
+ * same broken-vs-slower split perf_compare documents.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/log.h"
+#include "perf/trend.h"
+
+using namespace beethoven;
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: perf_trend [--json] [--fail-on-drop=PCT] "
+          "[--dir=PATH | FILE.json...]\n"
+          "\n"
+          "  --json              machine-readable trend document\n"
+          "  --fail-on-drop=PCT  exit 2 when any bench's first-to-last\n"
+          "                      cycles/sec decline exceeds PCT\n"
+          "  --dir=PATH          discover PATH/BENCH_*.json in git\n"
+          "                      commit order (default when no files\n"
+          "                      are given: perf)\n";
+}
+
+BenchSuite
+loadSuite(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot read %s", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseBenchSuite(parseJson(ss.str()));
+}
+
+/**
+ * Unix commit time of the last commit touching @p path, or 0 when git
+ * is unavailable or the file is untracked.
+ */
+long long
+gitCommitTime(const std::string &path)
+{
+    const std::filesystem::path p(path);
+    const std::string dir =
+        p.has_parent_path() ? p.parent_path().string() : ".";
+    std::string cmd = "git -C '" + dir + "' log -1 --format=%ct -- '" +
+                      p.filename().string() + "' 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return 0;
+    char buf[64] = {};
+    const bool got = std::fgets(buf, sizeof buf, pipe) != nullptr;
+    pclose(pipe);
+    return got ? std::strtoll(buf, nullptr, 10) : 0;
+}
+
+/** All BENCH_*.json under @p dir, oldest commit first. */
+std::vector<std::string>
+discover(const std::string &dir)
+{
+    std::vector<std::pair<long long, std::string>> found;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) != 0 ||
+            name.find(".json") == std::string::npos)
+            continue;
+        const long long t = gitCommitTime(entry.path().string());
+        // Untracked files (t == 0) sort after every committed one.
+        found.emplace_back(t == 0 ? std::numeric_limits<long long>::max()
+                                  : t,
+                           entry.path().string());
+    }
+    if (ec)
+        fatal("cannot list %s: %s", dir.c_str(),
+              ec.message().c_str());
+    std::sort(found.begin(), found.end());
+    std::vector<std::string> paths;
+    for (auto &[t, p] : found)
+        paths.push_back(std::move(p));
+    return paths;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    double fail_on_drop = -1.0;
+    std::string dir;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--fail-on-drop=", 0) == 0) {
+            char *end = nullptr;
+            fail_on_drop = std::strtod(arg.c_str() + 15, &end);
+            if (end == nullptr || *end != '\0' || fail_on_drop < 0.0) {
+                std::cerr << "perf_trend: bad --fail-on-drop value\n";
+                return 3;
+            }
+        } else if (arg.rfind("--dir=", 0) == 0) {
+            dir = arg.substr(6);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "perf_trend: unknown argument '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return 3;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (!dir.empty() && !files.empty()) {
+        std::cerr << "perf_trend: give --dir or files, not both\n";
+        return 3;
+    }
+
+    try {
+        if (files.empty())
+            files = discover(dir.empty() ? "perf" : dir);
+        if (files.size() < 2) {
+            std::cerr << "perf_trend: need at least two BENCH files "
+                         "for a trajectory\n";
+            return 3;
+        }
+        std::vector<BenchSuite> suites;
+        suites.reserve(files.size());
+        for (const std::string &f : files)
+            suites.push_back(loadSuite(f));
+        const TrendReport report = buildTrend(suites);
+        if (json)
+            writeTrendJson(std::cout, report);
+        else
+            writeTrendTable(std::cout, report);
+        if (fail_on_drop >= 0.0 &&
+            report.worstDropPct() > fail_on_drop) {
+            std::cerr << "perf_trend: worst decline "
+                      << report.worstDropPct() << "% exceeds "
+                      << fail_on_drop << "%\n";
+            return 2;
+        }
+        return 0;
+    } catch (const ConfigError &e) {
+        std::cerr << "perf_trend: " << e.what() << "\n";
+        return 3;
+    }
+}

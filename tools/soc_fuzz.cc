@@ -12,7 +12,8 @@
  *   soc_fuzz [--seed=N] [--iterations=N] [--max-cycles=N]
  *            [--max-ops=N] [--repro-out=PATH] [--no-shrink]
  *            [--plant-violation] [--plant-lint-violation]
- *            [--differential] [--sim-kernel=tick|event]
+ *            [--differential] [--sim-kernel=tick|event|parallel]
+ *            [--sim-threads=N]
  *            [--plant-lost-wake=N] [--plant-wake-violation=N]
  *            [--replay=PATH] [--verbose]
  *
@@ -51,7 +52,9 @@ usage(std::ostream &os)
           "                [--max-ops=N] [--repro-out=PATH] [--no-shrink]\n"
           "                [--plant-violation] [--plant-lint-violation]\n"
           "                [--plant-power-violation]\n"
-          "                [--differential] [--sim-kernel=tick|event]\n"
+          "                [--differential]\n"
+          "                [--sim-kernel=tick|event|parallel]\n"
+          "                [--sim-threads=N]\n"
           "                [--plant-lost-wake=N]\n"
           "                [--plant-wake-violation=N]\n"
           "                [--replay=PATH] [--verbose]\n"
@@ -73,11 +76,15 @@ usage(std::ostream &os)
           "                      plant a phantom energy leak in every\n"
           "                      case's power ledger (self-test of the\n"
           "                      energy-conservation invariant)\n"
-          "  --differential      run every case under BOTH simulation\n"
-          "                      kernels (tick and event) and fail on\n"
-          "                      any digest/cycle/outcome divergence\n"
+          "  --differential      run every case under ALL simulation\n"
+          "                      kernels (tick as reference, then\n"
+          "                      event and parallel) and fail on any\n"
+          "                      digest/cycle/outcome divergence\n"
           "  --sim-kernel=K      kernel for non-differential runs:\n"
-          "                      tick (default) or event\n"
+          "                      tick (default), event or parallel\n"
+          "  --sim-threads=N     worker threads for parallel-kernel\n"
+          "                      runs (default 2; 0 = one per\n"
+          "                      execution group)\n"
           "  --plant-lost-wake=N drop every Nth event-kernel wake\n"
           "                      schedule in every case (self-test of\n"
           "                      the differential catch path; implies\n"
@@ -147,15 +154,19 @@ main(int argc, char **argv)
             continue;
         } else if (parseU64Flag(arg, "max-cycles", v)) {
             opt.maxCycles = v;
+        } else if (parseU64Flag(arg, "sim-threads", v)) {
+            opt.parallelThreads = static_cast<unsigned>(v);
         } else if (parseStringFlag(arg, "sim-kernel", kernel_name)) {
             if (kernel_name == "tick") {
                 opt.kernel = SimKernel::Tick;
             } else if (kernel_name == "event") {
                 opt.kernel = SimKernel::Event;
+            } else if (kernel_name == "parallel") {
+                opt.kernel = SimKernel::Parallel;
             } else {
                 std::cerr << "soc_fuzz: bad --sim-kernel '"
                           << kernel_name
-                          << "' (expected tick or event)\n";
+                          << "' (expected tick, event or parallel)\n";
                 return 2;
             }
         } else if (arg == "--differential") {

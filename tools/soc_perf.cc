@@ -16,6 +16,7 @@
  * Usage:
  *   soc_perf [--quick] [--runs=N] [--label=STR] [--out=FILE]
  *            [--bench-dir=DIR] [--bench=a,b,...] [--no-host-profile]
+ *            [--bench-args=STR]
  *
  *   --quick            pass --quick to every bench (the committed
  *                      trajectory uses this: absolute numbers are
@@ -32,6 +33,12 @@
  *                      the ctest perf label uses this)
  *   --no-host-profile  skip the profiled pass (host_top stays empty
  *                      and no power summary is captured)
+ *   --bench-args=STR   extra flags appended verbatim to every bench
+ *                      invocation (e.g. "--sim-kernel=parallel
+ *                      --sim-threads=4" to record the sharded
+ *                      kernel's trajectory; combine with
+ *                      --no-host-profile, which the parallel kernel
+ *                      requires)
  *
  * Exit codes: 0 suite recorded, 1 a bench failed or produced
  * unparseable KPIs, 2 usage error or unwritable output.
@@ -75,7 +82,8 @@ usage(std::ostream &os)
     os << "usage: soc_perf [--quick] [--runs=N] [--label=STR] "
           "[--out=FILE]\n"
           "                [--bench-dir=DIR] [--bench=a,b,...] "
-          "[--no-host-profile]\n";
+          "[--no-host-profile]\n"
+          "                [--bench-args=STR]\n";
 }
 
 /** Directory of the running binary, for locating ../bench. */
@@ -209,6 +217,7 @@ main(int argc, char **argv)
     std::string label = "local";
     std::string out_path;
     std::string bench_dir = selfDir() + "/../bench";
+    std::string bench_args;
     std::vector<std::string> selected;
 
     for (int i = 1; i < argc; ++i) {
@@ -232,6 +241,8 @@ main(int argc, char **argv)
             bench_dir = arg.substr(12);
         } else if (arg.rfind("--bench=", 0) == 0) {
             selected = splitCommas(arg.substr(8));
+        } else if (arg.rfind("--bench-args=", 0) == 0) {
+            bench_args = arg.substr(13);
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -280,6 +291,8 @@ main(int argc, char **argv)
     for (std::size_t bi = 0; bi < benches.size(); ++bi) {
         const std::string &bench = benches[bi];
         std::string base_cmd = bench_dir + "/" + bench;
+        if (!bench_args.empty())
+            base_cmd += " " + bench_args;
         if (quick) {
             base_cmd += " --quick";
             // Keep the google-benchmark bench inside the quick budget.
